@@ -1,0 +1,61 @@
+"""Extension experiment X2: closed-loop ASIP synthesis under area budgets.
+
+Closes the paper's Figure-1 loop: the detected sequences drive chained-
+instruction synthesis, instruction selection re-targets the code, and the
+simulator measures real cycle counts.  Expected shape: measurable speedup
+on MAC-heavy integer benchmarks, monotone (non-decreasing) best speedup as
+the area budget grows.
+"""
+
+import pytest
+
+from repro.asip.explore import explore_designs
+from repro.suite.registry import get_benchmark
+from repro.suite.runner import compile_benchmark
+
+BUDGETS = (800, 2000, 4000)
+BENCHES = ("sewha", "feowf", "bspline")
+
+
+def _explore_all():
+    results = {}
+    for name in BENCHES:
+        spec = get_benchmark(name)
+        module = compile_benchmark(spec)
+        inputs = spec.generate_inputs(0)
+        per_budget = {}
+        for budget in BUDGETS:
+            per_budget[budget] = explore_designs(
+                module, inputs, area_budget=budget,
+                max_candidates=6, measure_top=3)
+        results[name] = per_budget
+    return results
+
+
+def test_asip_design_space(benchmark, save_artifact):
+    results = benchmark.pedantic(_explore_all, rounds=1, iterations=1)
+
+    lines = ["ASIP design-space exploration (measured on the simulator)",
+             ""]
+    for name, per_budget in results.items():
+        lines.append(f"--- {name}")
+        for budget, result in per_budget.items():
+            best = result.best
+            if best is None:
+                lines.append(f"    budget {budget:5d}: no viable chains")
+                continue
+            chains = ", ".join(best.labels())
+            lines.append(
+                f"    budget {budget:5d}: {best.speedup:5.3f}x using "
+                f"area {best.area:5d}  [{chains}]")
+    save_artifact("asip_exploration.txt", "\n".join(lines))
+
+    for name, per_budget in results.items():
+        speedups = [per_budget[b].best.speedup if per_budget[b].best
+                    else 1.0 for b in BUDGETS]
+        assert speedups[-1] >= 1.05, \
+            f"{name}: a generous budget must buy real speedup"
+        assert all(b >= a - 1e-9
+                   for a, b in zip(speedups, speedups[1:])), \
+            f"{name}: best speedup must not decrease with budget " \
+            f"({speedups})"

@@ -1,0 +1,70 @@
+"""Engine micro-benchmarks: throughput of the toolchain's hot stages.
+
+These are performance benchmarks for the reproduction's own machinery
+(front end, simulator, percolation, detector) on a mid-sized benchmark —
+the numbers a contributor watches for regressions.
+"""
+
+import pytest
+
+from repro.cfg.build import build_module_graphs
+from repro.chaining.detect import detect_sequences
+from repro.frontend import compile_source
+from repro.opt.pipeline import OptLevel, optimize_module
+from repro.opt.percolation import compact_graph
+from repro.sim.machine import run_module
+from repro.suite.registry import get_benchmark
+from repro.suite.runner import compile_benchmark
+
+
+@pytest.fixture(scope="module")
+def edge_spec():
+    return get_benchmark("edge")
+
+
+@pytest.fixture(scope="module")
+def edge_module(edge_spec):
+    return compile_benchmark(edge_spec)
+
+
+@pytest.fixture(scope="module")
+def edge_level1(edge_module, edge_spec):
+    gm, _ = optimize_module(edge_module, OptLevel.PIPELINED)
+    result = run_module(gm, edge_spec.generate_inputs(0))
+    return gm, result
+
+
+def test_frontend_throughput(benchmark, edge_spec):
+    module = benchmark(compile_source, edge_spec.source, "edge")
+    assert module.total_instructions() > 100
+
+
+def test_graph_build_throughput(benchmark, edge_module):
+    gm = benchmark(build_module_graphs, edge_module)
+    assert gm.total_nodes() > 100
+
+
+def test_compaction_throughput(benchmark, edge_module):
+    def compact_fresh():
+        gm = build_module_graphs(edge_module)
+        for g in gm.graphs.values():
+            compact_graph(g)
+        return gm
+
+    gm = benchmark(compact_fresh)
+    assert any(len(n.ops) > 1 for g in gm.graphs.values()
+               for n in g.nodes.values())
+
+
+def test_simulator_throughput(benchmark, edge_module, edge_spec):
+    gm = build_module_graphs(edge_module)
+    inputs = edge_spec.generate_inputs(0)
+    result = benchmark(run_module, gm, inputs)
+    assert result.cycles > 10_000
+
+
+def test_detector_throughput(benchmark, edge_level1):
+    gm, result = edge_level1
+    detection = benchmark(detect_sequences, gm, result.profile,
+                          (2, 3, 4, 5))
+    assert detection.stats.occurrences_found > 0

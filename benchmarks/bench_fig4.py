@@ -1,0 +1,15 @@
+"""Regenerate paper Figure 4: length-4 sequence frequencies across the
+combined suite at the three optimization levels."""
+
+from repro.reporting.figures import figure4, figure_series
+
+
+def test_figure4(benchmark, full_study, save_artifact):
+    series = benchmark(figure_series, full_study, 4)
+    save_artifact("figure4.txt", figure4(full_study))
+
+    assert series[0] and series[1] and series[2]
+    assert sum(series[1]) > sum(series[0]), \
+        "pipelining exposes longer chains (level 1 > level 0)"
+    assert sum(series[2]) < sum(series[1]), \
+        "renaming breaks long chains (level 2 < level 1)"

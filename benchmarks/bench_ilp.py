@@ -1,0 +1,25 @@
+"""Extension experiment X1 (paper §8): ILP characterization of the suite.
+
+The paper closes by proposing to characterize the instruction-level
+parallelism of the application suite as multiple-issue feedback.  We
+measure dynamic ILP (operations per cycle) per benchmark per level.
+Expected shape: level 0 is ~1.0 by construction (one op per node, minus
+control-only cycles), level 1 well above 1, level 2 comparable to level 1.
+"""
+
+from repro.feedback.ilp import (characterize_ilp, render_ilp_table,
+                                suite_ilp_summary)
+
+
+def test_ilp_characterization(benchmark, full_study, save_artifact):
+    rows = benchmark(characterize_ilp, full_study)
+    save_artifact("ilp.txt", render_ilp_table(rows))
+
+    summary = suite_ilp_summary(rows)
+    assert summary[0] <= 1.0, "sequential schedule: at most one op/cycle"
+    assert summary[1] > 1.3, "percolation must expose real ILP"
+    assert summary[1] > summary[0]
+    # Every benchmark individually speeds up at level 1.
+    for row in rows:
+        if row.level == 1:
+            assert row.speedup > 1.0, row.benchmark

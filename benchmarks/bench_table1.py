@@ -1,0 +1,14 @@
+"""Regenerate paper Table 1: benchmark descriptions.
+
+The table is pure metadata, so the timed portion is the registry walk plus
+rendering — the part a user re-runs when extending the suite.
+"""
+
+from repro.reporting.tables import table1
+
+
+def test_table1(benchmark, save_artifact):
+    text = benchmark(table1)
+    save_artifact("table1.txt", text)
+    for name in ("fir", "edge", "feowf"):
+        assert name in text

@@ -1,0 +1,45 @@
+"""Shared machinery for the benchmark harness.
+
+Every ``bench_*.py`` file regenerates one artifact of the paper (a table or
+figure) or one extension/ablation experiment.  The expensive part — the
+full 12-benchmark x 3-level study — runs once per session; each benchmark
+then times the *analysis* step that produces its artifact and writes the
+rendered artifact under ``benchmarks/artifacts/`` so EXPERIMENTS.md can
+reference concrete outputs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.feedback.study import StudyConfig, run_study
+
+ARTIFACT_DIR = pathlib.Path(__file__).resolve().parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def full_study():
+    """The complete experimental matrix (all 12 benchmarks, levels 0-2)."""
+    return run_study(StudyConfig())
+
+
+@pytest.fixture(scope="session")
+def artifact_dir():
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    return ARTIFACT_DIR
+
+
+@pytest.fixture()
+def save_artifact(artifact_dir):
+    """Write an artifact file and echo it to the captured output."""
+
+    def _save(name: str, text: str):
+        path = artifact_dir / name
+        path.write_text(text + "\n")
+        print()
+        print(text)
+        return path
+
+    return _save

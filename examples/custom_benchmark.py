@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Walk a custom kernel through every stage of the toolchain.
+
+Shows the intermediate artifacts a compiler engineer would inspect: the
+three-address code from the front end, the sequential program graph, the
+percolation-scheduled graph, the profile, the detected sequences and the
+iterative coverage analysis — all for a kernel you can edit below.
+
+Run:  python examples/custom_benchmark.py
+"""
+
+import random
+
+from repro.cfg.build import build_module_graphs
+from repro.cfg.linearize import format_graph, schedule_stats
+from repro.chaining.coverage import analyze_coverage
+from repro.chaining.detect import detect_sequences
+from repro.chaining.sequence import sequence_label
+from repro.frontend import compile_source
+from repro.ir.printer import format_module
+from repro.opt.pipeline import OptLevel, optimize_module
+from repro.sim.machine import run_module
+
+# Edit this kernel.  Supported: int/float scalars, fixed 1-D/2-D arrays,
+# functions (arrays pass by reference), for/while/if, math intrinsics
+# (sin, cos, sqrt, fabs, ...).
+KERNEL = """
+/* Complex magnitude-squared accumulation — a tiny radar-style kernel. */
+float re[32];
+float im[32];
+float out[32];
+int n = 32;
+
+int main() {
+    int i;
+    float peak;
+    peak = 0.0;
+    for (i = 0; i < n; i++) {
+        float p;
+        p = re[i] * re[i] + im[i] * im[i];
+        out[i] = p;
+        if (p > peak) {
+            peak = p;
+        }
+    }
+    return 0;
+}
+"""
+
+
+def main():
+    rng = random.Random(0)
+    inputs = {
+        "re": [rng.uniform(-1, 1) for _ in range(32)],
+        "im": [rng.uniform(-1, 1) for _ in range(32)],
+    }
+
+    print("=" * 72)
+    print("STAGE 1 - front end: three-address code")
+    print("=" * 72)
+    module = compile_source(KERNEL, "custom")
+    print(format_module(module))
+    print()
+
+    print("=" * 72)
+    print("STAGE 2 - sequential program graph (one operation per cycle)")
+    print("=" * 72)
+    sequential = build_module_graphs(module)
+    stats = schedule_stats(sequential.graphs["main"])
+    print(f"{stats.nodes} nodes, {stats.operations} operations, "
+          f"static ILP {stats.static_ilp:.2f}")
+    base = run_module(sequential, inputs)
+    print(f"simulated: {base.cycles} cycles, peak out[0..3] = "
+          f"{[round(v, 3) for v in base.array('out')[:4]]}")
+    print()
+
+    print("=" * 72)
+    print("STAGE 3 - percolation-scheduled graph (optimization level 1)")
+    print("=" * 72)
+    optimized, report = optimize_module(module, OptLevel.PIPELINED)
+    graph = optimized.graphs["main"]
+    stats = schedule_stats(graph)
+    print(f"{stats.nodes} nodes, max {stats.max_width} parallel ops, "
+          f"static ILP {stats.static_ilp:.2f}; "
+          f"{report.total_moves()} percolation moves, "
+          f"{report.total_unrolled()} loop(s) pipelined")
+    print()
+    print(format_graph(graph))
+    print()
+
+    result = run_module(optimized, inputs)
+    assert result.globals_after == base.globals_after, \
+        "optimizer must preserve semantics"
+    print(f"simulated: {result.cycles} cycles "
+          f"({base.cycles / result.cycles:.2f}x over sequential), "
+          f"outputs bit-identical to the sequential run")
+    print()
+
+    print("=" * 72)
+    print("STAGE 4 - chainable sequences (dynamic frequency)")
+    print("=" * 72)
+    detection = detect_sequences(optimized, result.profile, (2, 3, 4))
+    for length in (2, 3, 4):
+        rows = detection.top(length, limit=4)
+        if not rows:
+            continue
+        print(f"length {length}:")
+        for name, freq in rows:
+            print(f"    {sequence_label(name):28s} {freq:6.2f}%")
+    print()
+
+    print("=" * 72)
+    print("STAGE 5 - iterative coverage (which chains to build)")
+    print("=" * 72)
+    report = analyze_coverage(optimized, result.profile, threshold=3.0)
+    for step in report.steps:
+        print(f"    {step.label:28s} picked at {step.frequency:6.2f}%, "
+              f"covers {step.contribution:5.2f}%")
+    print(f"    total coverage: {report.coverage:.2f}% with "
+          f"{report.sequence_count} chained instructions")
+
+
+if __name__ == "__main__":
+    main()

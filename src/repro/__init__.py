@@ -1,0 +1,44 @@
+"""repro — compiler feedback in ASIP design.
+
+A full reproduction of Onion, Nicolau & Dutt, *Incorporating Compiler
+Feedback Into the Design of ASIPs* (DATE 1995): a mini-C front end, a
+three-address program-graph IR, a profiling simulator, a percolation-
+scheduling optimizer with loop pipelining and register renaming, the
+chainable-sequence detection and coverage analyses, the Table-1 DSP
+benchmark suite, and an ASIP synthesis model that closes the design loop.
+
+Typical use::
+
+    from repro import compile_source, optimize_module, OptLevel
+    from repro import run_module, detect_sequences
+
+    module = compile_source(open("kernel.c").read(), "kernel")
+    graphs, _ = optimize_module(module, OptLevel.PIPELINED)
+    result = run_module(graphs, {"x": samples})
+    found = detect_sequences(graphs, result.profile, lengths=(2, 3))
+    for name, freq in found.top(2, limit=5):
+        print(name, freq)
+
+Higher-level drivers live in :mod:`repro.feedback` (the whole experiment
+matrix) and :mod:`repro.asip` (design-space exploration).
+"""
+
+from repro.errors import ReproError
+from repro.frontend import compile_source
+from repro.opt.pipeline import OptLevel, optimize_module
+from repro.sim.machine import run_module
+from repro.chaining.detect import detect_sequences
+from repro.chaining.coverage import analyze_coverage
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "compile_source",
+    "optimize_module",
+    "OptLevel",
+    "run_module",
+    "detect_sequences",
+    "analyze_coverage",
+    "__version__",
+]

@@ -1,0 +1,124 @@
+"""Area and delay model for functional units and chained datapaths.
+
+Units are normalized, not process-specific: areas are in "gate units"
+roughly proportional to published relative sizes of datapath blocks (a
+32-bit multiplier is ~7-8x an adder, an FP multiplier larger still); delays
+are in nanoseconds for a nominal mid-90s process, with the base machine's
+cycle time sized to its slowest single operation (the memory port / FP
+multiply).  What matters for the reproduction is *relative* cost: whether a
+chain fits in one cycle and how much area a chain set charges against the
+budget — the knobs a DATE-1995 designer would sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import AsipError
+
+#: chain class -> functional unit name
+UNIT_OF_CLASS: Dict[str, str] = {
+    "add": "alu",
+    "subtract": "alu",
+    "multiply": "multiplier",
+    "divide": "divider",
+    "shift": "shifter",
+    "logic": "logic",
+    "compare": "comparator",
+    "load": "memport",
+    "store": "memport",
+    "fadd": "fp_adder",
+    "fsub": "fp_adder",
+    "fmultiply": "fp_multiplier",
+    "fdivide": "fp_divider",
+    "fcompare": "fp_comparator",
+    "fload": "memport",
+    "fstore": "memport",
+    "convert": "converter",
+}
+
+_DEFAULT_AREA: Dict[str, int] = {
+    "alu": 120,
+    "multiplier": 900,
+    "divider": 1500,
+    "shifter": 80,
+    "logic": 40,
+    "comparator": 60,
+    "memport": 350,
+    "fp_adder": 420,
+    "fp_multiplier": 1300,
+    "fp_divider": 2000,
+    "fp_comparator": 90,
+    "converter": 160,
+}
+
+_DEFAULT_DELAY: Dict[str, float] = {
+    "alu": 2.0,
+    "multiplier": 5.0,
+    "divider": 9.0,
+    "shifter": 1.0,
+    "logic": 1.0,
+    "comparator": 1.5,
+    "memport": 4.0,
+    "fp_adder": 4.0,
+    "fp_multiplier": 6.0,
+    "fp_divider": 12.0,
+    "fp_comparator": 2.0,
+    "converter": 2.5,
+}
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Area/delay tables plus the machine cycle time.
+
+    ``chain_overhead_area`` charges the operand-forwarding path and control
+    decode each chained instruction adds; the register-file write ports the
+    chain *avoids* are credited per internal link.
+    """
+
+    area: Dict[str, int] = field(default_factory=lambda: dict(_DEFAULT_AREA))
+    delay: Dict[str, float] = field(
+        default_factory=lambda: dict(_DEFAULT_DELAY))
+    cycle_time: float = 8.0
+    chain_overhead_area: int = 45
+    link_latch_credit: int = 25
+
+    def unit_of(self, chain_class: str) -> str:
+        try:
+            return UNIT_OF_CLASS[chain_class]
+        except KeyError:
+            raise AsipError(f"unknown chain class {chain_class!r}")
+
+    def class_area(self, chain_class: str) -> int:
+        return self.area[self.unit_of(chain_class)]
+
+    def class_delay(self, chain_class: str) -> float:
+        return self.delay[self.unit_of(chain_class)]
+
+    def chain_area(self, pattern: Sequence[str]) -> int:
+        """Silicon cost of one chained instruction's datapath."""
+        if len(pattern) < 2:
+            raise AsipError("a chain has at least two operations")
+        units = sum(self.class_area(c) for c in pattern)
+        links = len(pattern) - 1
+        return max(0, units + self.chain_overhead_area
+                   - links * self.link_latch_credit)
+
+    def chain_delay(self, pattern: Sequence[str]) -> float:
+        """Combinational delay of the chained datapath."""
+        return sum(self.class_delay(c) for c in pattern)
+
+    def chain_cycles(self, pattern: Sequence[str]) -> int:
+        """Cycles one chained instruction issue occupies (≥ 1)."""
+        return max(1, math.ceil(self.chain_delay(pattern)
+                                / self.cycle_time - 1e-9))
+
+    def cycles_saved_per_traversal(self, pattern: Sequence[str]) -> int:
+        """Cycles saved each time a chain replaces its operation sequence."""
+        return max(0, len(pattern) - self.chain_cycles(pattern))
+
+
+DEFAULT_COST_MODEL = CostModel()

@@ -1,0 +1,110 @@
+"""Measured evaluation of a chained-instruction ISA.
+
+``evaluate_isa`` runs the whole paper loop for one design point:
+
+1. optimize the program at a chosen level (the "customized optimizing
+   compiler" of Figure 1);
+2. re-sequentialize the schedule for the single-issue ASIP;
+3. simulate **without** chains — the base processor's cycle count;
+4. select chains and simulate **with** them — the ASIP's cycle count,
+   charging multi-cycle chains their extra issue cycles;
+5. verify both runs produce bit-identical outputs (a failed check would
+   mean the selector broke the program — it raises, never under-reports).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.asip.cost import CostModel, DEFAULT_COST_MODEL
+from repro.asip.isa import InstructionSet
+from repro.asip.resequence import resequence_module
+from repro.asip.select import FusedInstruction, SelectionStats, select_chains
+from repro.cfg.graph import GraphModule
+from repro.errors import AsipError
+from repro.ir.module import Module
+from repro.opt.pipeline import OptLevel, optimize_module
+from repro.sim.machine import run_module
+
+
+@dataclass
+class AsipEvaluation:
+    """One measured design point."""
+
+    base_cycles: int
+    chained_cycles: int
+    extension_area: int
+    selection: SelectionStats
+    # chain pattern -> dynamic issue count
+    chain_issues: Dict[Tuple[str, ...], int] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.chained_cycles == 0:
+            return 0.0
+        return self.base_cycles / self.chained_cycles
+
+    @property
+    def cycles_saved(self) -> int:
+        return self.base_cycles - self.chained_cycles
+
+    def __repr__(self) -> str:
+        return (f"<AsipEvaluation {self.base_cycles} -> "
+                f"{self.chained_cycles} cycles "
+                f"({self.speedup:.3f}x, area {self.extension_area})>")
+
+
+def evaluate_on_sequential(seq_module: GraphModule, isa: InstructionSet,
+                           inputs: Optional[dict] = None,
+                           cost_model: Optional[CostModel] = None
+                           ) -> AsipEvaluation:
+    """Evaluate *isa* against an already re-sequentialized module."""
+    cost = cost_model or isa.cost_model or DEFAULT_COST_MODEL
+    base_result = run_module(seq_module, inputs)
+
+    fused_module = seq_module.copy()
+    stats = select_chains(fused_module, isa)
+    fused_result = run_module(fused_module, inputs)
+
+    if fused_result.globals_after != base_result.globals_after \
+            or fused_result.return_value != base_result.return_value:
+        raise AsipError(
+            "chained execution diverged from the base processor — "
+            "instruction selection broke program semantics")
+
+    extra_cycles = 0
+    chain_issues: Dict[Tuple[str, ...], int] = {}
+    for fn_name, graph in fused_module.graphs.items():
+        counts = fused_result.profile.node_counts.get(fn_name, {})
+        for nid, node in graph.nodes.items():
+            for ins in node.ops:
+                if not isinstance(ins, FusedInstruction):
+                    continue
+                executed = counts.get(nid, 0)
+                pattern = tuple(ins.chain.pattern)
+                chain_issues[pattern] = \
+                    chain_issues.get(pattern, 0) + executed
+                extra = cost.chain_cycles(pattern) - 1
+                if extra > 0:
+                    extra_cycles += extra * executed
+
+    return AsipEvaluation(
+        base_cycles=base_result.cycles,
+        chained_cycles=fused_result.cycles + extra_cycles,
+        extension_area=isa.extension_area(),
+        selection=stats,
+        chain_issues=chain_issues,
+    )
+
+
+def evaluate_isa(module: Module, isa: InstructionSet,
+                 inputs: Optional[dict] = None,
+                 level: OptLevel = OptLevel.PIPELINED,
+                 unroll_factor: int = 2,
+                 cost_model: Optional[CostModel] = None) -> AsipEvaluation:
+    """Full-loop evaluation of *isa* on linear *module* at *level*."""
+    graph_module, _ = optimize_module(module, level,
+                                      unroll_factor=unroll_factor)
+    sequential = resequence_module(graph_module)
+    return evaluate_on_sequential(sequential, isa, inputs, cost_model)

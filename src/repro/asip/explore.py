@@ -1,0 +1,160 @@
+"""Budgeted design-space exploration over chain sets.
+
+Given a benchmark and an area budget, pick the set of chained instructions
+that maximizes measured speedup:
+
+1. run the paper's analysis (optimize, profile, detect) to rank candidate
+   sequences by dynamic frequency;
+2. estimate each candidate's value as ``frequency × cycles-saved-per-
+   traversal / length`` — the share of execution time it could remove;
+3. enumerate candidate subsets under the budget (the candidate list is
+   small, so exhaustive enumeration with the additive estimate is exact for
+   the estimator), keep the top few plus the greedy value-density pick;
+4. *measure* each finalist with
+   :func:`~repro.asip.evaluate.evaluate_on_sequential` and return the
+   measured winner.
+
+This is deliberately a two-stage estimate-then-measure loop: the estimate
+is optimistic (it ignores overlap between candidates — an op fused into one
+chain cannot join another), so the final ranking always comes from the
+simulator.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.asip.cost import CostModel, DEFAULT_COST_MODEL
+from repro.asip.evaluate import AsipEvaluation, evaluate_on_sequential
+from repro.asip.isa import ChainedInstruction, InstructionSet
+from repro.asip.resequence import resequence_module
+from repro.chaining.detect import detect_sequences
+from repro.chaining.frequency import dynamic_frequency
+from repro.chaining.sequence import SequenceName, sequence_label
+from repro.errors import AsipError
+from repro.ir.module import Module
+from repro.opt.pipeline import OptLevel, optimize_module
+from repro.sim.machine import run_module
+
+
+@dataclass
+class Candidate:
+    """One sequence considered for hardware."""
+
+    pattern: SequenceName
+    frequency: float       # dynamic frequency (%) from the analysis
+    area: int
+    cycles_saved: int      # per traversal
+
+    @property
+    def estimate(self) -> float:
+        """Estimated % of execution time removed if fully exploited."""
+        return self.frequency * self.cycles_saved / len(self.pattern)
+
+    @property
+    def label(self) -> str:
+        return sequence_label(self.pattern)
+
+
+@dataclass
+class DesignPoint:
+    """A measured ISA design."""
+
+    isa: InstructionSet
+    evaluation: AsipEvaluation
+
+    @property
+    def speedup(self) -> float:
+        return self.evaluation.speedup
+
+    @property
+    def area(self) -> int:
+        return self.evaluation.extension_area
+
+    def labels(self) -> List[str]:
+        return [c.label for c in self.isa.chains]
+
+
+@dataclass
+class ExplorationResult:
+    """Everything one exploration produced."""
+
+    candidates: List[Candidate]
+    measured: List[DesignPoint] = field(default_factory=list)
+
+    @property
+    def best(self) -> Optional[DesignPoint]:
+        if not self.measured:
+            return None
+        return max(self.measured, key=lambda p: p.speedup)
+
+
+def explore_designs(module: Module,
+                    inputs: Optional[dict] = None,
+                    area_budget: int = 3000,
+                    level: OptLevel = OptLevel.PIPELINED,
+                    lengths: Sequence[int] = (2, 3),
+                    max_candidates: int = 8,
+                    measure_top: int = 4,
+                    unroll_factor: int = 2,
+                    cost_model: Optional[CostModel] = None
+                    ) -> ExplorationResult:
+    """Run the full feedback-driven exploration for one benchmark."""
+    cost = cost_model or DEFAULT_COST_MODEL
+    graph_module, _ = optimize_module(module, level,
+                                      unroll_factor=unroll_factor)
+    profile = run_module(graph_module, inputs).profile
+    detection = detect_sequences(graph_module, profile, lengths)
+
+    candidates: List[Candidate] = []
+    for seq in detection.all_sequences():
+        freq = dynamic_frequency(seq.cycles_accounted, detection.total_ops)
+        saved = cost.cycles_saved_per_traversal(seq.name)
+        area = cost.chain_area(seq.name)
+        if saved <= 0 or area > area_budget or freq <= 0.0:
+            continue
+        candidates.append(Candidate(tuple(seq.name), freq, area, saved))
+    candidates.sort(key=lambda c: (-c.estimate, c.pattern))
+    candidates = candidates[:max_candidates]
+
+    result = ExplorationResult(candidates=candidates)
+    if not candidates:
+        return result
+
+    # Stage 1: additive-estimate enumeration under the budget.
+    scored: List[Tuple[float, Tuple[int, ...]]] = []
+    indices = range(len(candidates))
+    for r in range(1, len(candidates) + 1):
+        for combo in itertools.combinations(indices, r):
+            area = sum(candidates[i].area for i in combo)
+            if area > area_budget:
+                continue
+            estimate = sum(candidates[i].estimate for i in combo)
+            scored.append((estimate, combo))
+    scored.sort(key=lambda item: (-item[0], item[1]))
+
+    # Greedy value-density pick always gets measured too.
+    greedy: List[int] = []
+    remaining = area_budget
+    for i in sorted(indices,
+                    key=lambda i: -candidates[i].estimate
+                    / max(1, candidates[i].area)):
+        if candidates[i].area <= remaining:
+            greedy.append(i)
+            remaining -= candidates[i].area
+    finalists = {tuple(sorted(greedy))} if greedy else set()
+    for _, combo in scored[:measure_top]:
+        finalists.add(combo)
+
+    # Stage 2: measure each finalist on the simulator.
+    sequential = resequence_module(graph_module)
+    for combo in sorted(finalists):
+        isa = InstructionSet(cost_model=cost)
+        for idx in combo:
+            isa.add_chain(ChainedInstruction.from_sequence(
+                candidates[idx].pattern))
+        evaluation = evaluate_on_sequential(sequential, isa, inputs, cost)
+        result.measured.append(DesignPoint(isa=isa, evaluation=evaluation))
+    return result

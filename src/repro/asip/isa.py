@@ -1,0 +1,86 @@
+"""Instruction-set model: the base single-issue ISA plus chained extensions.
+
+A :class:`ChainedInstruction` is the hardware realization of one detected
+sequence — the multiply-accumulate of a TMS320C5x is
+``ChainedInstruction("mac", ("multiply", "add"))``.  An
+:class:`InstructionSet` is the base ISA plus a set of such extensions with
+their total area charge under a :class:`~repro.asip.cost.CostModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.asip.cost import CostModel, DEFAULT_COST_MODEL
+from repro.chaining.sequence import SequenceName, sequence_label
+from repro.errors import AsipError
+
+
+@dataclass(frozen=True)
+class ChainedInstruction:
+    """One chained-operation instruction of the extended ISA."""
+
+    name: str
+    pattern: SequenceName
+
+    def __post_init__(self):
+        if len(self.pattern) < 2:
+            raise AsipError(
+                f"chained instruction {self.name!r} needs >= 2 operations")
+        object.__setattr__(self, "pattern", tuple(self.pattern))
+
+    @property
+    def length(self) -> int:
+        return len(self.pattern)
+
+    @property
+    def label(self) -> str:
+        return sequence_label(self.pattern)
+
+    def area(self, cost: CostModel = DEFAULT_COST_MODEL) -> int:
+        return cost.chain_area(self.pattern)
+
+    def cycles(self, cost: CostModel = DEFAULT_COST_MODEL) -> int:
+        return cost.chain_cycles(self.pattern)
+
+    @classmethod
+    def from_sequence(cls, name: SequenceName,
+                      index: Optional[int] = None) -> "ChainedInstruction":
+        """Synthesize an instruction for a detected sequence name."""
+        mnemonic = "chn_" + "_".join(name)
+        if index is not None:
+            mnemonic = f"{mnemonic}_{index}"
+        return cls(mnemonic, tuple(name))
+
+
+@dataclass
+class InstructionSet:
+    """The base ISA plus a set of chained extensions."""
+
+    chains: List[ChainedInstruction] = field(default_factory=list)
+    cost_model: CostModel = field(default_factory=lambda: DEFAULT_COST_MODEL)
+
+    def add_chain(self, chain: ChainedInstruction) -> None:
+        if any(c.pattern == chain.pattern for c in self.chains):
+            raise AsipError(
+                f"duplicate chain pattern {chain.label!r} in the ISA")
+        self.chains.append(chain)
+
+    def extension_area(self) -> int:
+        """Total silicon charged for the chained extensions."""
+        return sum(c.area(self.cost_model) for c in self.chains)
+
+    def patterns(self) -> List[SequenceName]:
+        return [c.pattern for c in self.chains]
+
+    def find(self, pattern: Sequence[str]) -> Optional[ChainedInstruction]:
+        pattern = tuple(pattern)
+        for c in self.chains:
+            if c.pattern == pattern:
+                return c
+        return None
+
+    def __repr__(self) -> str:
+        labels = ", ".join(c.label for c in self.chains) or "base only"
+        return f"<InstructionSet {labels}; area {self.extension_area()}>"

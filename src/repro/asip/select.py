@@ -1,0 +1,170 @@
+"""Chain-aware instruction selection.
+
+Rewrites a *sequential* program graph (one operation per node — either the
+level-0 graph or a re-sequentialized optimized schedule from
+:mod:`repro.asip.resequence`), fusing runs of nodes that match a chained
+instruction's pattern into a single :class:`FusedInstruction` node.
+
+Matching rules:
+
+* the node run is connected head-to-tail, interior nodes have exactly one
+  predecessor (no path enters the middle of a chain) and one successor;
+* no node in the run carries control (a branch issues on its own);
+* each operation's destination feeds an operand of the next (the same
+  data-flow condition the detector used);
+* patterns are tried longest-first, greedily and non-overlapping.
+
+A fused node still writes every intermediate destination register, so
+downstream consumers of an intermediate value keep working — the hardware
+analogue is that the chained datapath taps stay connected to the register
+file write ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.asip.isa import ChainedInstruction, InstructionSet
+from repro.cfg.graph import GraphModule, Node, ProgramGraph
+from repro.errors import AsipError
+from repro.ir.instr import Instruction
+from repro.ir.ops import Op
+
+
+class FusedInstruction(Instruction):
+    """A chained instruction occurrence: its parts execute back-to-back
+    within one issue, with operand forwarding between them."""
+
+    __slots__ = ("parts", "chain")
+
+    def __init__(self, chain: ChainedInstruction,
+                 parts: Sequence[Instruction]):
+        if len(parts) != chain.length:
+            raise AsipError(
+                f"{chain.name}: {len(parts)} parts for a "
+                f"{chain.length}-operation chain")
+        self.parts = list(parts)
+        self.chain = chain
+        super().__init__(Op.CHAIN)
+
+    def uses(self):
+        seen = {}
+        for part in self.parts:
+            for r in part.uses():
+                seen.setdefault(r)
+        return tuple(seen)
+
+    def defs(self):
+        seen = {}
+        for part in self.parts:
+            for r in part.defs():
+                seen.setdefault(r)
+        return tuple(seen)
+
+    def clone(self, reg_map=None, label_map=None) -> "FusedInstruction":
+        return FusedInstruction(
+            self.chain,
+            [p.clone(reg_map, label_map) for p in self.parts])
+
+    def __str__(self) -> str:
+        inner = "; ".join(str(p) for p in self.parts)
+        return f"{self.chain.name} {{ {inner} }}"
+
+
+@dataclass
+class SelectionStats:
+    """What one selection run fused."""
+
+    # chain pattern -> number of static sites fused
+    sites: Dict[Tuple[str, ...], int] = field(default_factory=dict)
+    nodes_removed: int = 0
+
+    @property
+    def total_sites(self) -> int:
+        return sum(self.sites.values())
+
+
+def select_chains(module: GraphModule, isa: InstructionSet
+                  ) -> SelectionStats:
+    """Fuse every match of *isa*'s chains in every graph of *module*.
+
+    Mutates *module* in place and returns :class:`SelectionStats`.
+    """
+    stats = SelectionStats()
+    chains = sorted(isa.chains, key=lambda c: -c.length)
+    for graph in module.graphs.values():
+        _select_in_graph(graph, chains, stats)
+    return stats
+
+
+def _select_in_graph(graph: ProgramGraph,
+                     chains: List[ChainedInstruction],
+                     stats: SelectionStats) -> None:
+    for nid in graph.rpo_order():
+        if nid not in graph.nodes:
+            continue  # consumed by an earlier fusion
+        for chain in chains:
+            run = _match_at(graph, nid, chain.pattern)
+            if run is None:
+                continue
+            _fuse_run(graph, run, chain)
+            key = tuple(chain.pattern)
+            stats.sites[key] = stats.sites.get(key, 0) + 1
+            stats.nodes_removed += len(run) - 1
+            break  # node rewritten; move on
+
+
+def _match_at(graph: ProgramGraph, start: int,
+              pattern: Sequence[str]) -> Optional[List[int]]:
+    """Try to match *pattern* on the node run starting at *start*."""
+    run = [start]
+    node = graph.nodes[start]
+    if node.control is not None or len(node.ops) != 1:
+        return None
+    op = node.ops[0]
+    if isinstance(op, FusedInstruction) or op.chain_class != pattern[0]:
+        return None
+    producer = op
+    for want in pattern[1:]:
+        if len(node.succs) != 1:
+            return None
+        nxt_id = node.succs[0]
+        if nxt_id in run:
+            return None  # would wrap around a cycle onto itself
+        nxt = graph.nodes[nxt_id]
+        if nxt.control is not None or len(nxt.ops) != 1:
+            return None
+        if len(nxt.preds) != 1:
+            return None  # something jumps into the middle of the chain
+        consumer = nxt.ops[0]
+        if isinstance(consumer, FusedInstruction) \
+                or consumer.chain_class != want:
+            return None
+        if producer.dest is None or producer.dest not in consumer.uses():
+            return None
+        run.append(nxt_id)
+        node = nxt
+        producer = consumer
+    return run
+
+
+def _fuse_run(graph: ProgramGraph, run: List[int],
+              chain: ChainedInstruction) -> None:
+    head = graph.nodes[run[0]]
+    tail = graph.nodes[run[-1]]
+    parts = [graph.nodes[nid].ops[0] for nid in run]
+    fused = FusedInstruction(chain, parts)
+    head.ops = [fused]
+    tail_succs = list(tail.succs)
+    # Unlink the interior of the run and reconnect head -> tail successors.
+    for prev, cur in zip(run, run[1:]):
+        graph.remove_edge(prev, cur)
+    for nid in run[1:]:
+        node = graph.nodes[nid]
+        node.ops = []
+        for succ in list(node.succs):
+            graph.remove_edge(nid, succ)
+        graph.remove_node(nid)
+    for succ in tail_succs:
+        graph.add_edge(run[0], succ)

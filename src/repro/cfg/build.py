@@ -1,0 +1,96 @@
+"""Build a program graph from linear three-address code.
+
+The initial graph carries **one operation per node** — the fully sequential
+schedule.  Jumps dissolve into edges; labels become join points.  This is the
+level-0 ("no optimization") program graph of the paper: sequence detection on
+it sees only source-order adjacencies, like the prior work the paper compares
+against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IRError
+from repro.cfg.graph import GraphModule, Node, ProgramGraph
+from repro.ir.function import Function
+from repro.ir.instr import Instruction
+from repro.ir.module import Module
+from repro.ir.ops import Op
+from repro.ir.values import Label
+
+
+def build_graph(fn: Function) -> ProgramGraph:
+    """Convert one linear function into its sequential program graph."""
+    graph = ProgramGraph(fn.name, fn.params, fn.local_arrays, fn.return_type)
+    body = fn.body
+    if not body:
+        raise IRError(f"cannot build a graph for empty function {fn.name!r}")
+
+    # Pass 1: label name -> body index.
+    label_pos: Dict[str, int] = {}
+    for i, item in enumerate(body):
+        if isinstance(item, Label):
+            label_pos[item.name] = i
+
+    # Pass 2: resolve a body position to the next node-producing
+    # instruction, following jumps through.
+    def resolve(pos: int, trail: Optional[set] = None) -> int:
+        trail = trail or set()
+        while True:
+            if pos in trail:
+                raise IRError(f"{fn.name}: empty infinite jump cycle")
+            trail.add(pos)
+            if pos >= len(body):
+                raise IRError(f"{fn.name}: control flows off the end")
+            item = body[pos]
+            if isinstance(item, Label):
+                pos += 1
+                continue
+            if item.op is Op.JMP:
+                pos = label_pos[item.true_label]
+                continue
+            return pos
+
+    # Pass 3: create one node per non-jump instruction.  Instructions are
+    # cloned so the graph owns its copies — later optimization must never
+    # mutate the linear module (a fresh graph can then be built per
+    # optimization level).  Clones keep their provenance ``origin``.
+    node_at: Dict[int, Node] = {}
+    for i, item in enumerate(body):
+        if isinstance(item, Label) or item.op is Op.JMP:
+            continue
+        node = graph.new_node()
+        if item.op in (Op.BR, Op.RET):
+            node.control = item.clone()
+        else:
+            node.ops.append(item.clone())
+        node_at[i] = node
+
+    # Pass 4: edges.
+    positions = sorted(node_at)
+    for i in positions:
+        node = node_at[i]
+        ins = body[i]
+        if ins.op is Op.RET:
+            continue
+        if ins.op is Op.BR:
+            true_node = node_at[resolve(label_pos[ins.true_label])]
+            false_node = node_at[resolve(label_pos[ins.false_label])]
+            graph.add_edge(node.id, true_node.id)
+            graph.add_edge(node.id, false_node.id)
+            continue
+        # Fallthrough to the next producing position.
+        target = node_at[resolve(i + 1)]
+        graph.add_edge(node.id, target.id)
+
+    graph.entry = node_at[resolve(0)].id
+    graph.prune_unreachable()
+    return graph
+
+
+def build_module_graphs(module: Module) -> GraphModule:
+    """Convert every function of *module* into program-graph form."""
+    graphs = {name: build_graph(fn) for name, fn in module.functions.items()}
+    return GraphModule(module.name, graphs, module.global_arrays,
+                       module.array_initializers, module.global_scalars)

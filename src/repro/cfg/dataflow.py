@@ -1,0 +1,108 @@
+"""Dataflow analyses over program graphs.
+
+Liveness is the one that matters for percolation scheduling: an operation may
+only be hoisted into a predecessor node if its destination register is dead
+on every *other* path out of that predecessor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.cfg.graph import ProgramGraph
+from repro.ir.instr import Instruction
+from repro.ir.values import VirtualReg
+
+
+@dataclass
+class LivenessInfo:
+    """live_in / live_out register sets per node id."""
+
+    live_in: Dict[int, Set[VirtualReg]] = field(default_factory=dict)
+    live_out: Dict[int, Set[VirtualReg]] = field(default_factory=dict)
+
+    def is_live_in(self, node_id: int, reg: VirtualReg) -> bool:
+        return reg in self.live_in.get(node_id, ())
+
+    def is_live_out(self, node_id: int, reg: VirtualReg) -> bool:
+        return reg in self.live_out.get(node_id, ())
+
+
+def compute_liveness(graph: ProgramGraph) -> LivenessInfo:
+    """Classic backward worklist liveness over VLIW nodes.
+
+    Within a node all reads happen before all writes, so a register both
+    read and written by the same node is *used* (its incoming value matters):
+    ``use(n) = reads(n)``, ``def(n) = writes(n)``,
+    ``live_in = use ∪ (live_out − def)``.
+    """
+    use: Dict[int, Set[VirtualReg]] = {}
+    defs: Dict[int, Set[VirtualReg]] = {}
+    for nid, node in graph.nodes.items():
+        use[nid] = node.uses()
+        defs[nid] = node.defs()
+
+    info = LivenessInfo(
+        live_in={nid: set() for nid in graph.nodes},
+        live_out={nid: set() for nid in graph.nodes},
+    )
+    # Iterate to fixpoint; process in reverse RPO for fast convergence.
+    order = list(reversed(graph.rpo_order()))
+    changed = True
+    while changed:
+        changed = False
+        for nid in order:
+            node = graph.nodes[nid]
+            out: Set[VirtualReg] = set()
+            for succ in node.succs:
+                out |= info.live_in[succ]
+            new_in = use[nid] | (out - defs[nid])
+            if out != info.live_out[nid]:
+                info.live_out[nid] = out
+                changed = True
+            if new_in != info.live_in[nid]:
+                info.live_in[nid] = new_in
+                changed = True
+    return info
+
+
+def reaching_uses(graph: ProgramGraph,
+                  ) -> Dict[int, List[Tuple[int, Instruction]]]:
+    """For each node, the (node_id, instruction) pairs that read each def.
+
+    Returns a map keyed by instruction ``uid`` of a defining instruction to
+    the list of (node, instruction) sites that may consume its value along
+    some path without an intervening redefinition.  Used by the sequence
+    analyzer to find producer→consumer pairs beyond immediate neighbours and
+    by tests as an oracle.
+    """
+    consumers: Dict[int, List[Tuple[int, Instruction]]] = {}
+    for nid, node in graph.nodes.items():
+        for ins in node.ops:
+            if ins.dest is None:
+                continue
+            found = _collect_consumers(graph, nid, ins.dest)
+            consumers[ins.uid] = found
+    return consumers
+
+
+def _collect_consumers(graph: ProgramGraph, start: int,
+                       reg: VirtualReg) -> List[Tuple[int, Instruction]]:
+    """Walk forward from *start* finding reads of *reg* before redefinition."""
+    result: List[Tuple[int, Instruction]] = []
+    seen: Set[int] = set()
+    stack = list(graph.nodes[start].succs)
+    while stack:
+        nid = stack.pop()
+        if nid in seen:
+            continue
+        seen.add(nid)
+        node = graph.nodes[nid]
+        for ins in node.all_instructions():
+            if reg in ins.uses():
+                result.append((nid, ins))
+        if reg in node.defs():
+            continue  # killed here; stop this path
+        stack.extend(node.succs)
+    return result

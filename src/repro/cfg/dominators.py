@@ -1,0 +1,67 @@
+"""Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+Needed by natural-loop detection, which loop pipelining builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.cfg.graph import ProgramGraph
+
+
+def immediate_dominators(graph: ProgramGraph) -> Dict[int, Optional[int]]:
+    """Map node id -> immediate dominator id (entry maps to None)."""
+    order = graph.rpo_order()
+    index = {nid: i for i, nid in enumerate(order)}
+    idom: Dict[int, Optional[int]] = {graph.entry: graph.entry}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for nid in order:
+            if nid == graph.entry:
+                continue
+            preds = [p for p in graph.nodes[nid].preds if p in idom]
+            if not preds:
+                continue
+            new_idom = preds[0]
+            for p in preds[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom.get(nid) != new_idom:
+                idom[nid] = new_idom
+                changed = True
+    result: Dict[int, Optional[int]] = {}
+    for nid in graph.nodes:
+        if nid == graph.entry:
+            result[nid] = None
+        else:
+            result[nid] = idom.get(nid)
+    return result
+
+
+def compute_dominators(graph: ProgramGraph) -> Dict[int, Set[int]]:
+    """Map node id -> the full set of its dominators (including itself)."""
+    idom = immediate_dominators(graph)
+    doms: Dict[int, Set[int]] = {}
+    for nid in graph.nodes:
+        chain: Set[int] = set()
+        cur: Optional[int] = nid
+        while cur is not None:
+            chain.add(cur)
+            cur = idom[cur]
+        doms[nid] = chain
+    return doms
+
+
+def dominates(doms: Dict[int, Set[int]], a: int, b: int) -> bool:
+    """True when node *a* dominates node *b*."""
+    return a in doms[b]

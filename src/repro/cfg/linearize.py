@@ -1,0 +1,63 @@
+"""Linearization and pretty-printing of program graphs.
+
+``linearize`` produces a stable node order (reverse postorder) used for
+display, golden tests and static statistics; ``schedule_stats`` summarizes a
+graph as a schedule (node count, operation count, static ILP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cfg.graph import ProgramGraph
+
+
+def linearize(graph: ProgramGraph) -> List[int]:
+    """Return node ids in reverse postorder from the entry."""
+    return graph.rpo_order()
+
+
+def format_graph(graph: ProgramGraph) -> str:
+    """Render the graph one node per block, ops indented."""
+    lines = [f"graph {graph.name} (entry n{graph.entry})"]
+    for nid in linearize(graph):
+        node = graph.nodes[nid]
+        succ = ", ".join(f"n{s}" for s in node.succs) or "-"
+        lines.append(f"n{nid}: -> {succ}")
+        for op in node.ops:
+            lines.append(f"    {op}")
+        if node.control is not None:
+            lines.append(f"    {node.control}  [ctl]")
+    return "\n".join(lines)
+
+
+@dataclass
+class ScheduleStats:
+    """Static shape of a scheduled graph."""
+
+    nodes: int
+    operations: int
+    controls: int
+    max_width: int
+
+    @property
+    def static_ilp(self) -> float:
+        """Average operations per node (cycle) in the static schedule."""
+        if self.nodes == 0:
+            return 0.0
+        return self.operations / self.nodes
+
+
+def schedule_stats(graph: ProgramGraph) -> ScheduleStats:
+    """Compute static schedule statistics for *graph*."""
+    ops = 0
+    controls = 0
+    width = 0
+    for node in graph.nodes.values():
+        ops += len(node.ops)
+        width = max(width, len(node.ops))
+        if node.control is not None:
+            controls += 1
+    return ScheduleStats(nodes=graph.node_count(), operations=ops,
+                         controls=controls, max_width=width)

@@ -1,0 +1,82 @@
+"""Natural-loop detection on program graphs.
+
+A natural loop is identified by a back edge ``latch -> header`` where the
+header dominates the latch; its body is every node that can reach the latch
+without passing through the header.  Loop pipelining (:mod:`repro.opt.looppipe`)
+unrolls these bodies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.cfg.dominators import compute_dominators
+from repro.cfg.graph import ProgramGraph
+
+
+@dataclass
+class NaturalLoop:
+    """One natural loop."""
+
+    header: int
+    latches: List[int]
+    body: Set[int] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        return len(self.body)
+
+    def exits(self, graph: ProgramGraph) -> List[int]:
+        """Nodes outside the loop reached by edges from inside it."""
+        outside: List[int] = []
+        for nid in self.body:
+            for succ in graph.nodes[nid].succs:
+                if succ not in self.body and succ not in outside:
+                    outside.append(succ)
+        return outside
+
+    def contains_call(self, graph: ProgramGraph) -> bool:
+        from repro.ir.ops import Op
+        for nid in self.body:
+            for ins in graph.nodes[nid].ops:
+                if ins.op is Op.CALL:
+                    return True
+        return False
+
+    def is_innermost(self, loops: List["NaturalLoop"]) -> bool:
+        for other in loops:
+            if other is self:
+                continue
+            if other.header in self.body and other.header != self.header:
+                return False
+        return True
+
+
+def find_natural_loops(graph: ProgramGraph) -> List[NaturalLoop]:
+    """All natural loops, loops sharing a header merged, inner loops first."""
+    doms = compute_dominators(graph)
+    by_header: Dict[int, NaturalLoop] = {}
+    for tail, head in graph.back_edges():
+        if head not in doms[tail]:
+            continue  # irreducible: not a natural loop, skip
+        loop = by_header.setdefault(head, NaturalLoop(head, []))
+        loop.latches.append(tail)
+        loop.body |= _loop_body(graph, head, tail)
+    loops = list(by_header.values())
+    loops.sort(key=lambda lp: lp.size)
+    return loops
+
+
+def _loop_body(graph: ProgramGraph, header: int, latch: int) -> Set[int]:
+    body = {header, latch}
+    stack = [latch]
+    while stack:
+        nid = stack.pop()
+        if nid == header:
+            continue
+        for pred in graph.nodes[nid].preds:
+            if pred not in body:
+                body.add(pred)
+                stack.append(pred)
+    return body

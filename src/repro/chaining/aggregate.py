@@ -1,0 +1,66 @@
+"""Cross-benchmark aggregation (paper §6.1).
+
+"This information was collected by performing sequence detection for each
+individual benchmark, and then combining the results of all the benchmarks
+together."  The combined dynamic frequency of a sequence weights each
+benchmark by its share of the suite's total dynamic operations:
+
+    combined(s) = Σ_b cycles_accounted(s, b) / Σ_b total_ops(b) × 100
+
+so a sequence dominating a long-running benchmark matters more than one
+dominating a tiny stream filter — the natural reading of "percentage of
+execution time" over a combined workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaining.detect import DetectionResult
+from repro.chaining.sequence import SequenceName, sequence_label
+
+
+@dataclass
+class CombinedSequences:
+    """Suite-wide sequence frequencies for one optimization level."""
+
+    total_ops: int = 0
+    # name -> summed cycles accounted across benchmarks
+    cycles: Dict[SequenceName, int] = field(default_factory=dict)
+    benchmarks: List[str] = field(default_factory=list)
+
+    def frequency(self, name: SequenceName) -> float:
+        if self.total_ops == 0:
+            return 0.0
+        return 100.0 * self.cycles.get(tuple(name), 0) / self.total_ops
+
+    def top(self, length: Optional[int] = None,
+            limit: Optional[int] = None
+            ) -> List[Tuple[SequenceName, float]]:
+        """Sequences sorted by decreasing combined frequency."""
+        rows = [
+            (name, 100.0 * acc / self.total_ops)
+            for name, acc in self.cycles.items()
+            if length is None or len(name) == length
+        ]
+        rows.sort(key=lambda item: (-item[1], item[0]))
+        return rows[:limit] if limit is not None else rows
+
+    def series(self, length: int) -> List[float]:
+        """The frequency curve of paper Figures 3/4: sorted descending."""
+        return [freq for _, freq in self.top(length)]
+
+
+def combine_results(results: Sequence[Tuple[str, DetectionResult]]
+                    ) -> CombinedSequences:
+    """Combine per-benchmark detection results into suite-wide numbers."""
+    combined = CombinedSequences()
+    for bench_name, result in results:
+        combined.benchmarks.append(bench_name)
+        combined.total_ops += result.total_ops
+        for seq in result.all_sequences():
+            key = tuple(seq.name)
+            combined.cycles[key] = (combined.cycles.get(key, 0)
+                                    + result.attributed_cycles(seq.name))
+    return combined

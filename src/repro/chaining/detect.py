@@ -1,0 +1,228 @@
+"""Branch-and-bound detection of chainable operation sequences.
+
+The search walks the program graph exactly as the paper describes: from
+every chainable operation it tries to extend a chain into each successor
+node, following the data flow (the producer's destination must feed an
+operand of the consumer — including address operands, which is how
+``add-load`` address chains arise).  Two facts about VLIW node semantics
+shape the search:
+
+* operations in the *same* node execute in parallel and can never be
+  chained — a chain steps to the **next** cycle at every link;
+* a self-edge (a compacted single-node loop body) is a legal step: the
+  producer's result of iteration *i* feeds the consumer in iteration
+  *i + 1*'s cycle.
+
+The *bound* in branch-and-bound: an extension's occurrence count is the
+minimum edge flow along its node path, which is non-increasing as the path
+grows — so once the running count drops below ``min_count`` the whole
+subtree is pruned.  ``excluded_uids`` supports the paper's §7 coverage
+iteration ("ignoring any occurrences of the high-frequency sequence already
+found").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.cfg.graph import GraphModule, ProgramGraph
+from repro.chaining.frequency import dynamic_frequency, total_op_executions
+from repro.chaining.sequence import (DetectedSequence, Occurrence,
+                                     SequenceName, sequence_label)
+from repro.ir.instr import Instruction
+from repro.sim.profile import ProfileData
+
+DEFAULT_LENGTHS = (2, 3, 4, 5)
+
+
+@dataclass
+class DetectionStats:
+    """Search-effort accounting (proof the bound actually prunes)."""
+
+    starts: int = 0
+    extensions_explored: int = 0
+    subtrees_pruned: int = 0
+    occurrences_found: int = 0
+
+
+@dataclass
+class DetectionResult:
+    """Everything found in one module at one optimization level."""
+
+    module_name: str
+    lengths: Tuple[int, ...]
+    total_ops: int
+    sequences: Dict[int, Dict[SequenceName, DetectedSequence]] = \
+        field(default_factory=dict)
+    stats: DetectionStats = field(default_factory=DetectionStats)
+    # instruction uid -> dynamic executions (caps frequency attribution).
+    exec_counts: Dict[int, int] = field(default_factory=dict)
+
+    def add_occurrence(self, name: SequenceName, occ: Occurrence) -> None:
+        by_name = self.sequences.setdefault(len(name), {})
+        seq = by_name.get(name)
+        if seq is None:
+            seq = by_name[name] = DetectedSequence(name)
+        seq.add(occ)
+        self.stats.occurrences_found += 1
+
+    def all_sequences(self, length: Optional[int] = None
+                      ) -> List[DetectedSequence]:
+        if length is not None:
+            return list(self.sequences.get(length, {}).values())
+        result: List[DetectedSequence] = []
+        for by_name in self.sequences.values():
+            result.extend(by_name.values())
+        return result
+
+    def attributed_cycles(self, name: SequenceName) -> int:
+        """Execution time (op-slots) attributed to one sequence.
+
+        Occurrence paths of the same sequence may overlap (one producer
+        feeding two consumers yields two paths sharing the producer), so
+        each instruction's attribution is capped at its actual dynamic
+        execution count — an executed operation counts at most once per
+        sequence, keeping every frequency at or below 100%.
+        """
+        seq = self.sequences.get(len(name), {}).get(tuple(name))
+        if seq is None:
+            return 0
+        per_uid: Dict[int, int] = {}
+        for occ in seq.occurrences:
+            for uid in occ.uids:
+                per_uid[uid] = per_uid.get(uid, 0) + occ.count
+        return sum(
+            min(total, self.exec_counts.get(uid, total))
+            for uid, total in per_uid.items()
+        )
+
+    def frequency(self, name: SequenceName) -> float:
+        """Dynamic frequency (%) of one sequence name (0.0 if absent)."""
+        return dynamic_frequency(self.attributed_cycles(name),
+                                 self.total_ops)
+
+    def top(self, length: int, limit: Optional[int] = None
+            ) -> List[Tuple[SequenceName, float]]:
+        """Sequences of *length* sorted by decreasing frequency."""
+        rows = [
+            (seq.name, self.frequency(seq.name))
+            for seq in self.sequences.get(length, {}).values()
+        ]
+        rows.sort(key=lambda item: (-item[1], item[0]))
+        return rows[:limit] if limit is not None else rows
+
+    def __repr__(self) -> str:
+        total = sum(len(v) for v in self.sequences.values())
+        return (f"<DetectionResult {self.module_name}: {total} sequences, "
+                f"{self.stats.occurrences_found} occurrences>")
+
+
+class SequenceDetector:
+    """Branch-and-bound search over every function graph of a module."""
+
+    def __init__(self, module: GraphModule, profile: ProfileData,
+                 lengths: Sequence[int] = DEFAULT_LENGTHS,
+                 min_count: int = 1,
+                 excluded_uids: Optional[Set[int]] = None):
+        if not lengths:
+            raise ValueError("lengths must be non-empty")
+        if min(lengths) < 2:
+            raise ValueError("chains have at least two operations")
+        self.module = module
+        self.profile = profile
+        self.lengths = tuple(sorted(set(lengths)))
+        self.max_length = max(self.lengths)
+        self.min_count = max(1, min_count)
+        self.excluded = excluded_uids or set()
+        self.result = DetectionResult(
+            module_name=module.name,
+            lengths=self.lengths,
+            total_ops=total_op_executions(profile, module),
+            exec_counts=profile.instruction_counts(module),
+        )
+
+    # -- public ---------------------------------------------------------------------
+
+    def detect(self) -> DetectionResult:
+        for fn_name, graph in self.module.graphs.items():
+            if self.profile.call_counts.get(fn_name, 0) == 0:
+                continue  # never executed: no dynamic frequency
+            self._detect_in_graph(fn_name, graph)
+        return self.result
+
+    # -- search ---------------------------------------------------------------------
+
+    def _detect_in_graph(self, fn_name: str, graph: ProgramGraph) -> None:
+        edge_count = self.profile.edge_counts.get(fn_name, {})
+        node_count = self.profile.node_counts.get(fn_name, {})
+        # Per-node index: register name -> chainable consumers reading it.
+        consumers: Dict[int, Dict[str, List[Instruction]]] = {}
+        for nid, node in graph.nodes.items():
+            index: Dict[str, List[Instruction]] = {}
+            for ins in node.ops:
+                if ins.chain_class is None or ins.uid in self.excluded:
+                    continue
+                for reg in ins.uses():
+                    index.setdefault(reg.name, []).append(ins)
+            consumers[nid] = index
+
+        for nid, node in graph.nodes.items():
+            if node_count.get(nid, 0) < self.min_count:
+                continue
+            for ins in node.ops:
+                if ins.chain_class is None or ins.dest is None \
+                        or ins.uid in self.excluded:
+                    continue
+                self.result.stats.starts += 1
+                start_bound = node_count.get(nid, 0)
+                self._extend(fn_name, graph, edge_count, consumers,
+                             path=[(nid, ins)], bound=start_bound)
+
+    def _extend(self, fn_name: str, graph: ProgramGraph, edge_count,
+                consumers, path: List[Tuple[int, Instruction]],
+                bound: int) -> None:
+        nid, producer = path[-1]
+        if producer.dest is None:
+            return  # stores terminate a chain
+        depth = len(path)
+        if depth >= self.max_length:
+            return
+        dest_name = producer.dest.name
+        for succ in dict.fromkeys(graph.nodes[nid].succs):
+            flow = edge_count.get((nid, succ), 0)
+            new_bound = min(bound, flow)
+            if new_bound < self.min_count:
+                self.result.stats.subtrees_pruned += 1
+                continue
+            for consumer in consumers[succ].get(dest_name, ()):  # data flow
+                if any(consumer is ins for _, ins in path):
+                    continue  # an op appears once per chain
+                self.result.stats.extensions_explored += 1
+                path.append((succ, consumer))
+                if depth + 1 in self.lengths:
+                    self._record(fn_name, path, new_bound)
+                self._extend(fn_name, graph, edge_count, consumers, path,
+                             new_bound)
+                path.pop()
+
+    def _record(self, fn_name: str, path: List[Tuple[int, Instruction]],
+                count: int) -> None:
+        name = tuple(ins.chain_class for _, ins in path)
+        occ = Occurrence(
+            function=fn_name,
+            path=tuple((nid, ins.uid) for nid, ins in path),
+            count=count,
+        )
+        self.result.add_occurrence(name, occ)
+
+
+def detect_sequences(module: GraphModule, profile: ProfileData,
+                     lengths: Sequence[int] = DEFAULT_LENGTHS,
+                     min_count: int = 1,
+                     excluded_uids: Optional[Set[int]] = None
+                     ) -> DetectionResult:
+    """Convenience wrapper around :class:`SequenceDetector`."""
+    detector = SequenceDetector(module, profile, lengths, min_count,
+                                excluded_uids)
+    return detector.detect()

@@ -1,0 +1,87 @@
+"""Sequence identity and occurrence records.
+
+A sequence is identified by the tuple of *chain classes* of its operations —
+the paper's vocabulary: ``("multiply", "add")`` prints as ``multiply-add``,
+``("fload", "fmultiply")`` as ``fload-fmultiply``.  Distinct code sites whose
+operations share the same class tuple are occurrences of the same sequence,
+exactly as the paper aggregates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+SequenceName = Tuple[str, ...]
+
+
+def sequence_label(name: SequenceName) -> str:
+    """Render a class tuple the way the paper prints it."""
+    return "-".join(name)
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """One concrete site of a sequence in one function graph.
+
+    ``path`` pairs each step with its (node id, instruction uid); ``count``
+    is the number of times control flowed along the whole node path (the
+    minimum of the traversal counts of its edges).
+    """
+
+    function: str
+    path: Tuple[Tuple[int, int], ...]  # ((node_id, instruction_uid), ...)
+    count: int
+
+    @property
+    def length(self) -> int:
+        return len(self.path)
+
+    @property
+    def uids(self) -> Tuple[int, ...]:
+        return tuple(uid for _, uid in self.path)
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        return tuple(nid for nid, _ in self.path)
+
+
+@dataclass
+class DetectedSequence:
+    """All occurrences of one sequence name at one length."""
+
+    name: SequenceName
+    occurrences: List[Occurrence] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        return sequence_label(self.name)
+
+    @property
+    def length(self) -> int:
+        return len(self.name)
+
+    @property
+    def total_count(self) -> int:
+        """Total dynamic traversals across all sites."""
+        return sum(occ.count for occ in self.occurrences)
+
+    @property
+    def cycles_accounted(self) -> int:
+        """Operation-slots of execution time attributed to this sequence."""
+        return self.total_count * self.length
+
+    @property
+    def site_count(self) -> int:
+        return len(self.occurrences)
+
+    def add(self, occurrence: Occurrence) -> None:
+        if len(occurrence.path) != self.length:
+            raise ValueError(
+                f"occurrence length {len(occurrence.path)} does not match "
+                f"sequence {self.label!r}")
+        self.occurrences.append(occurrence)
+
+    def __repr__(self) -> str:
+        return (f"<DetectedSequence {self.label}: {self.site_count} sites, "
+                f"count {self.total_count}>")

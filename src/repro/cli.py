@@ -1,0 +1,289 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list                      # the Table-1 suite
+    python -m repro study [--full] [--json F] # run the experiment matrix
+    python -m repro tables all                # regenerate Tables 1-3
+    python -m repro figures all               # regenerate Figures 3-6
+    python -m repro ilp                       # ILP characterization (X1)
+    python -m repro explore sewha --budget N  # ASIP design space (X2)
+    python -m repro analyze my_kernel.c       # analyze a user kernel
+
+``analyze`` compiles any mini-C file, fills its uninitialized global
+arrays with seeded random data, runs the full pipeline at the requested
+level and prints the detected sequences plus the coverage analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.chaining.coverage import analyze_coverage
+from repro.chaining.detect import detect_sequences
+from repro.chaining.sequence import sequence_label
+from repro.errors import ReproError
+from repro.frontend import compile_source
+from repro.opt.pipeline import OptLevel, optimize_module
+from repro.sim.machine import run_module
+
+
+def _parse_levels(text: str) -> tuple:
+    return tuple(sorted({int(part) for part in text.split(",")}))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compiler-feedback ASIP design "
+                    "(Onion/Nicolau/Dutt, DATE 1995) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table-1 benchmark suite")
+
+    study = sub.add_parser("study", help="run the experiment matrix")
+    study.add_argument("--benchmarks", default=None,
+                       help="comma-separated subset (default: all 12)")
+    study.add_argument("--levels", default="0,1,2", type=_parse_levels,
+                       help="optimization levels (default 0,1,2)")
+    study.add_argument("--seed", type=int, default=0)
+    study.add_argument("--json", default=None,
+                       help="also write the summary as JSON to this file")
+
+    tables = sub.add_parser("tables", help="regenerate paper tables")
+    tables.add_argument("which", choices=("1", "2", "3", "all"))
+    tables.add_argument("--benchmarks", default=None)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures")
+    figures.add_argument("which", choices=("3", "4", "5", "6", "all"))
+    figures.add_argument("--benchmarks", default=None)
+
+    sub.add_parser("ilp", help="ILP characterization of the suite (X1)")
+
+    explore = sub.add_parser("explore",
+                             help="ASIP design-space exploration (X2)")
+    explore.add_argument("benchmark")
+    explore.add_argument("--budget", type=int, default=2500)
+    explore.add_argument("--level", type=int, default=1)
+
+    report = sub.add_parser("report",
+                            help="write a Markdown study report")
+    report.add_argument("--benchmarks", default=None)
+    report.add_argument("--levels", default="0,1,2", type=_parse_levels)
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--output", default=None,
+                        help="file to write (default: stdout)")
+
+    analyze = sub.add_parser("analyze", help="analyze a mini-C file")
+    analyze.add_argument("file")
+    analyze.add_argument("--level", type=int, default=1)
+    analyze.add_argument("--lengths", default="2,3,4,5",
+                         type=_parse_levels)
+    analyze.add_argument("--seed", type=int, default=0)
+    analyze.add_argument("--threshold", type=float, default=4.0,
+                         help="coverage threshold percent")
+    return parser
+
+
+def _study_config(args) -> "StudyConfig":
+    from repro.feedback.study import StudyConfig
+    benchmarks = (tuple(args.benchmarks.split(","))
+                  if getattr(args, "benchmarks", None) else None)
+    levels = getattr(args, "levels", (0, 1, 2))
+    seed = getattr(args, "seed", 0)
+    return StudyConfig(benchmarks=benchmarks, levels=levels, seed=seed)
+
+
+def cmd_list(_args, out) -> int:
+    from repro.suite.registry import all_benchmarks
+    for spec in all_benchmarks():
+        print(f"{spec.name:10s} {spec.description:45s} "
+              f"[{spec.data_description}]", file=out)
+    return 0
+
+
+def cmd_study(args, out) -> int:
+    from repro.feedback.results import study_summary, summary_to_json
+    from repro.feedback.study import run_study
+    from repro.reporting.tables import table2
+
+    study = run_study(_study_config(args),
+                      progress=lambda name, level:
+                      print(f"  {name} @ level {level}", file=out))
+    print(file=out)
+    print(table2(study), file=out)
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(summary_to_json(study))
+        print(f"\nsummary written to {args.json}", file=out)
+    else:
+        summary = study_summary(study, top_n=3)
+        print(f"\n{len(summary['benchmarks'])} benchmarks analyzed "
+              f"at levels {summary['config']['levels']}", file=out)
+    return 0
+
+
+def cmd_tables(args, out) -> int:
+    from repro.feedback.study import run_study
+    from repro.reporting.tables import table1, table2, table3
+
+    if args.which in ("1",):
+        print(table1(), file=out)
+        return 0
+    study = run_study(_study_config(args))
+    if args.which in ("2", "all"):
+        if args.which == "all":
+            print(table1(), file=out)
+            print(file=out)
+        print(table2(study), file=out)
+    if args.which in ("3", "all"):
+        names = [b for b in ("sewha", "feowf", "bspline", "edge", "iir")
+                 if b in study.benchmarks]
+        print(file=out)
+        print(table3(study, benchmarks=names), file=out)
+    return 0
+
+
+def cmd_figures(args, out) -> int:
+    from repro.feedback.study import run_study
+    from repro.reporting.figures import figure3, figure4, figure5, figure6
+
+    study = run_study(_study_config(args))
+    renderers = {"3": figure3, "4": figure4, "5": figure5, "6": figure6}
+    which = renderers if args.which == "all" else \
+        {args.which: renderers[args.which]}
+    for _key, render in sorted(which.items()):
+        print(render(study), file=out)
+        print(file=out)
+    return 0
+
+
+def cmd_ilp(_args, out) -> int:
+    from repro.feedback.ilp import characterize_ilp, render_ilp_table
+    from repro.feedback.study import run_study
+    from repro.feedback.study import StudyConfig
+
+    study = run_study(StudyConfig())
+    print(render_ilp_table(characterize_ilp(study)), file=out)
+    return 0
+
+
+def cmd_explore(args, out) -> int:
+    from repro.asip.explore import explore_designs
+    from repro.suite.registry import get_benchmark
+    from repro.suite.runner import compile_benchmark
+
+    spec = get_benchmark(args.benchmark)
+    module = compile_benchmark(spec)
+    inputs = spec.generate_inputs(0)
+    result = explore_designs(module, inputs, area_budget=args.budget,
+                             level=OptLevel(args.level))
+    print(f"{len(result.candidates)} candidate sequences under budget "
+          f"{args.budget}", file=out)
+    for cand in result.candidates:
+        print(f"  {cand.label:28s} {cand.frequency:6.2f}%  "
+              f"area {cand.area:5d}  saves {cand.cycles_saved}/issue",
+              file=out)
+    best = result.best
+    if best is None:
+        print("no viable design", file=out)
+        return 1
+    print(f"\nbest measured design: {', '.join(best.labels())}", file=out)
+    print(f"  {best.evaluation.base_cycles} -> "
+          f"{best.evaluation.chained_cycles} cycles "
+          f"({best.speedup:.3f}x), area {best.area}", file=out)
+    return 0
+
+
+def _random_inputs(module, seed: int) -> dict:
+    """Seeded random contents for every uninitialized global array."""
+    rng = random.Random(seed)
+    inputs = {}
+    for name, sym in module.global_arrays.items():
+        if name in module.array_initializers:
+            continue
+        if sym.is_float:
+            inputs[name] = [rng.uniform(-1.0, 1.0)
+                            for _ in range(sym.size)]
+        else:
+            inputs[name] = [rng.randint(-256, 255)
+                            for _ in range(sym.size)]
+    return inputs
+
+
+def cmd_analyze(args, out) -> int:
+    with open(args.file) as fh:
+        source = fh.read()
+    module = compile_source(source, args.file, filename=args.file)
+    graph_module, _ = optimize_module(module, OptLevel(args.level))
+    inputs = _random_inputs(module, args.seed)
+    result = run_module(graph_module, inputs)
+    detection = detect_sequences(graph_module, result.profile,
+                                 args.lengths)
+    print(f"{args.file}: {result.cycles} cycles at level {args.level}, "
+          f"{detection.total_ops} operations executed\n", file=out)
+    for length in args.lengths:
+        rows = detection.top(length, limit=8)
+        if not rows:
+            continue
+        print(f"length-{length} sequences:", file=out)
+        for name, freq in rows:
+            print(f"    {sequence_label(name):28s} {freq:6.2f}%",
+                  file=out)
+    report = analyze_coverage(graph_module, result.profile,
+                              lengths=args.lengths,
+                              threshold=args.threshold)
+    print(f"\ncoverage at threshold {args.threshold:.1f}%:", file=out)
+    for step in report.steps:
+        print(f"    {step.label:28s} covers {step.contribution:6.2f}%",
+              file=out)
+    print(f"    total: {report.coverage:.2f}% with "
+          f"{report.sequence_count} chained instructions", file=out)
+    return 0
+
+
+def cmd_report(args, out) -> int:
+    from repro.feedback.study import run_study
+    from repro.reporting.markdown import study_report
+
+    study = run_study(_study_config(args))
+    text = study_report(study)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"report written to {args.output}", file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+_COMMANDS = {
+    "list": cmd_list,
+    "study": cmd_study,
+    "tables": cmd_tables,
+    "figures": cmd_figures,
+    "ilp": cmd_ilp,
+    "explore": cmd_explore,
+    "analyze": cmd_analyze,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""Instruction-level-parallelism characterization of the suite.
+
+The paper's closing direction (§8): "we are interested in providing
+feedback on the use of multiple-issue instruction-set architectures by
+characterizing the instruction level parallelism of an application suite
+using compiler optimizations."  This module does exactly that: for every
+benchmark and optimization level it reports dynamic ILP — operations
+executed per machine cycle — plus the speedup each level buys over the
+sequential schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.feedback.study import StudyResult
+from repro.opt.pipeline import OptLevel
+from repro.reporting.tables import render_table
+
+
+@dataclass(frozen=True)
+class IlpRow:
+    """One (benchmark, level) measurement."""
+
+    benchmark: str
+    level: int
+    cycles: int
+    operations: int
+    ilp: float
+    speedup: float  # over the same benchmark at level 0
+
+    @property
+    def level_label(self) -> str:
+        return OptLevel(self.level).label
+
+
+def characterize_ilp(study: StudyResult) -> List[IlpRow]:
+    """Dynamic ILP of every benchmark at every level of *study*."""
+    rows: List[IlpRow] = []
+    for name, bench in study.benchmarks.items():
+        base_cycles = None
+        for level in sorted(int(l) for l in bench.runs):
+            run = bench.run_at(level)
+            profile = run.profile
+            cycles = profile.total_cycles()
+            operations = profile.total_op_executions(run.graph_module)
+            if base_cycles is None:
+                base_cycles = cycles
+            rows.append(IlpRow(
+                benchmark=name,
+                level=level,
+                cycles=cycles,
+                operations=operations,
+                ilp=(operations / cycles) if cycles else 0.0,
+                speedup=(base_cycles / cycles) if cycles else 0.0,
+            ))
+    return rows
+
+
+def render_ilp_table(rows: List[IlpRow]) -> str:
+    """ASCII table of the ILP characterization."""
+    table_rows = []
+    for row in rows:
+        table_rows.append((
+            row.benchmark,
+            row.level,
+            row.cycles,
+            row.operations,
+            f"{row.ilp:.2f}",
+            f"{row.speedup:.2f}x",
+        ))
+    return render_table(
+        ("Benchmark", "Level", "Cycles", "Operations", "ILP", "Speedup"),
+        table_rows,
+        title="ILP characterization (ops/cycle per optimization level)")
+
+
+def suite_ilp_summary(rows: List[IlpRow]) -> dict:
+    """Per-level aggregate ILP over the whole suite (cycle-weighted)."""
+    by_level: dict = {}
+    for row in rows:
+        acc = by_level.setdefault(row.level,
+                                  {"cycles": 0, "operations": 0})
+        acc["cycles"] += row.cycles
+        acc["operations"] += row.operations
+    return {
+        level: acc["operations"] / acc["cycles"] if acc["cycles"] else 0.0
+        for level, acc in sorted(by_level.items())
+    }

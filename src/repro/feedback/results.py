@@ -1,0 +1,65 @@
+"""Plain-data summaries of study results.
+
+``study_summary`` flattens a :class:`~repro.feedback.study.StudyResult`
+into JSON-serializable dictionaries — what EXPERIMENTS.md records and what
+downstream tooling (plotting, regression tracking) consumes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.feedback.study import StudyResult
+from repro.chaining.sequence import sequence_label
+from repro.opt.pipeline import OptLevel
+
+
+def study_summary(study: StudyResult, top_n: int = 10) -> Dict:
+    """Flatten *study* into plain dicts (JSON-ready)."""
+    summary: Dict = {
+        "config": {
+            "levels": list(study.config.levels),
+            "lengths": list(study.config.lengths),
+            "seed": study.config.seed,
+            "unroll_factor": study.config.unroll_factor,
+        },
+        "benchmarks": {},
+        "combined": {},
+    }
+    for name, bench in study.benchmarks.items():
+        entry: Dict = {"levels": {}}
+        for level, run in bench.runs.items():
+            detection = run.detection
+            entry["levels"][int(level)] = {
+                "cycles": run.cycles,
+                "total_ops": detection.total_ops,
+                "nodes": run.graph_module.total_nodes(),
+                "top_sequences": {
+                    str(length): [
+                        {"name": sequence_label(seq_name),
+                         "frequency": round(freq, 4)}
+                        for seq_name, freq in detection.top(length, top_n)
+                    ]
+                    for length in study.config.lengths
+                },
+            }
+        summary["benchmarks"][name] = entry
+    for level in study.config.levels:
+        combined = study.combined(level)
+        summary["combined"][int(level)] = {
+            str(length): [
+                {"name": sequence_label(seq_name),
+                 "frequency": round(freq, 4)}
+                for seq_name, freq in combined.top(length, top_n)
+            ]
+            for length in study.config.lengths
+        }
+    return summary
+
+
+def summary_to_json(study: StudyResult, top_n: int = 10, **kwargs) -> str:
+    """JSON text of :func:`study_summary` (stable key order)."""
+    kwargs.setdefault("indent", 2)
+    kwargs.setdefault("sort_keys", True)
+    return json.dumps(study_summary(study, top_n), **kwargs)

@@ -1,0 +1,116 @@
+"""Run the paper's full experimental matrix.
+
+A *study* is: for each selected benchmark, run optimization levels 0/1/2,
+profile each on the Table-1 inputs, verify levels 1/2 against level 0's
+outputs (semantic preservation oracle), run sequence detection at lengths
+2–5, and keep everything for the reporting layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.chaining.aggregate import CombinedSequences, combine_results
+from repro.chaining.coverage import CoverageReport, analyze_coverage
+from repro.chaining.detect import DEFAULT_LENGTHS, DetectionResult
+from repro.errors import ReproError
+from repro.opt.pipeline import OptLevel
+from repro.suite.registry import BenchmarkSpec, all_benchmarks, get_benchmark
+from repro.suite.runner import BenchmarkRun, compile_benchmark, run_benchmark
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Knobs of one study run."""
+
+    benchmarks: Optional[Tuple[str, ...]] = None  # None = whole suite
+    levels: Tuple[int, ...] = (0, 1, 2)
+    lengths: Tuple[int, ...] = DEFAULT_LENGTHS
+    seed: int = 0
+    unroll_factor: int = 2
+    verify: bool = True
+
+
+@dataclass
+class BenchmarkStudy:
+    """One benchmark across all levels."""
+
+    spec: BenchmarkSpec
+    runs: Dict[OptLevel, BenchmarkRun] = field(default_factory=dict)
+
+    def run_at(self, level) -> BenchmarkRun:
+        return self.runs[OptLevel(level)]
+
+    def detection_at(self, level) -> DetectionResult:
+        return self.run_at(level).detection
+
+    def cycles_at(self, level) -> int:
+        return self.run_at(level).cycles
+
+
+@dataclass
+class StudyResult:
+    """The full matrix plus aggregation helpers."""
+
+    config: StudyConfig
+    benchmarks: Dict[str, BenchmarkStudy] = field(default_factory=dict)
+
+    def benchmark(self, name: str) -> BenchmarkStudy:
+        try:
+            return self.benchmarks[name]
+        except KeyError:
+            raise ReproError(f"study has no benchmark {name!r}")
+
+    def names(self) -> List[str]:
+        return list(self.benchmarks)
+
+    def combined(self, level) -> CombinedSequences:
+        """Suite-wide sequence frequencies at one level (paper §6.1)."""
+        level = OptLevel(level)
+        pairs = [(name, bs.detection_at(level))
+                 for name, bs in self.benchmarks.items()]
+        return combine_results(pairs)
+
+    def coverage(self, name: str, level,
+                 threshold: float = 4.0,
+                 lengths: Optional[Sequence[int]] = None,
+                 max_sequences: int = 12) -> CoverageReport:
+        """Iterative coverage analysis (paper §7) for one benchmark."""
+        run = self.benchmark(name).run_at(level)
+        return analyze_coverage(
+            run.graph_module, run.profile,
+            lengths=lengths or self.config.lengths,
+            threshold=threshold, max_sequences=max_sequences)
+
+
+ProgressFn = Callable[[str, int], None]
+
+
+def run_study(config: StudyConfig = StudyConfig(),
+              progress: Optional[ProgressFn] = None) -> StudyResult:
+    """Execute the study described by *config*."""
+    names = (list(config.benchmarks) if config.benchmarks is not None
+             else [spec.name for spec in all_benchmarks()])
+    result = StudyResult(config=config)
+    for name in names:
+        spec = get_benchmark(name)
+        module = compile_benchmark(spec)
+        study = BenchmarkStudy(spec=spec)
+        reference = None
+        for level in sorted(config.levels):
+            if progress is not None:
+                progress(name, level)
+            run = run_benchmark(
+                spec, OptLevel(level),
+                lengths=config.lengths,
+                seed=config.seed,
+                unroll_factor=config.unroll_factor,
+                check_against=reference if config.verify else None,
+                module=module,
+            )
+            if level == 0 and config.verify:
+                reference = run.machine_result
+            study.runs[OptLevel(level)] = run
+        result.benchmarks[name] = study
+    return result

@@ -1,0 +1,29 @@
+"""One-call front end: mini-C source text to verified three-address module.
+
+This is paper Figure 2, step 1 — the whole "modified gcc" stand-in::
+
+    from repro.frontend import compile_source
+    module = compile_source(open("fir.c").read(), name="fir")
+"""
+
+from __future__ import annotations
+
+from repro.ir.module import Module
+from repro.ir.verify import verify_module
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+from repro.lowering.lower import lower_program
+
+
+def compile_source(source: str, name: str = "<module>",
+                   filename: str = "<source>") -> Module:
+    """Compile mini-C *source* into a verified :class:`Module`.
+
+    Raises a :class:`~repro.errors.ReproError` subclass on any lexical,
+    syntactic, semantic or structural problem.
+    """
+    program = parse(source, filename)
+    table = analyze(program)
+    module = lower_program(program, table, name)
+    verify_module(module)
+    return module

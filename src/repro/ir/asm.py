@@ -1,0 +1,343 @@
+"""Textual IR assembler: parse the printer's format back into modules.
+
+The printer (:mod:`repro.ir.printer`) renders three-address code as::
+
+    module kernel
+    global int n = 35
+    global float h[8] = { 0.5, -0.25 }
+
+    func int main() {
+      local float buf[16]
+      t0 = load @n[0]
+      t1 = cmplt i, t0
+      br t1, .body, .exit
+    .body:
+      f2 = fload @h[i]
+      fstore @buf[i], f2
+      jmp .head
+    .exit:
+      ret 0
+    }
+
+``parse_module`` accepts that format (with explicit ``{...}`` array
+initializers, which the printer abbreviates), so optimizer and analysis
+tests can state their input programs directly in IR instead of going
+through the mini-C front end.  Register classes (int vs float) are
+inferred from opcode signatures; a register used inconsistently is a
+:class:`~repro.errors.IRError`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IRError
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instr import Instruction
+from repro.ir.module import Module
+from repro.ir.ops import Op, result_type
+from repro.ir.values import ArraySymbol, Constant, Label, VirtualReg
+
+_IDENT = r"[A-Za-z_%.][A-Za-z0-9_.%]*"
+_NUMBER = r"-?(?:\d+\.\d*(?:[eE][-+]?\d+)?|\.\d+(?:[eE][-+]?\d+)?" \
+          r"|\d+[eE][-+]?\d+|\d+)"
+
+_GLOBAL_RE = re.compile(
+    rf"^global\s+(int|float)\s+({_IDENT})"
+    rf"(?:\[(\d+)\])?\s*(?:=\s*(.+))?$")
+_FUNC_RE = re.compile(
+    rf"^func\s+(int|float|void)\s+({_IDENT})\s*\((.*)\)\s*{{$")
+_LOCAL_RE = re.compile(
+    rf"^local\s+(int|float)\s+({_IDENT})\[(\d+)\]$")
+_LABEL_RE = re.compile(r"^(\.[A-Za-z0-9_.]+):$")
+_ASSIGN_RE = re.compile(rf"^({_IDENT})\s*=\s*(.+)$")
+_MEMREF_RE = re.compile(rf"^@({_IDENT})\[(.+)\]$")
+
+_OPS_BY_NAME = {op.value: op for op in Op}
+
+# Opcode -> class of each register source ("int"/"float"); None = same as
+# the instruction's inferred context (moves, ret).
+_INT_SRC = {"add", "sub", "mul", "div", "mod", "neg", "and", "or", "xor",
+            "not", "shl", "shr", "cmpeq", "cmpne", "cmplt", "cmple",
+            "cmpgt", "cmpge", "itof", "mov"}
+_FLOAT_SRC = {"fadd", "fsub", "fmul", "fdiv", "fneg", "fcmpeq", "fcmpne",
+              "fcmplt", "fcmple", "fcmpgt", "fcmpge", "ftoi", "fmov"}
+
+
+class _RegClasses:
+    """Infer and check each register's class across the function."""
+
+    def __init__(self, name: str):
+        self.fn_name = name
+        self.classes: Dict[str, bool] = {}  # name -> is_float
+
+    def reg(self, name: str, is_float: Optional[bool]) -> VirtualReg:
+        if is_float is None:
+            is_float = self.classes.get(name, False)
+        seen = self.classes.get(name)
+        if seen is None:
+            self.classes[name] = is_float
+        elif seen != is_float:
+            raise IRError(
+                f"{self.fn_name}: register {name!r} used as both int "
+                f"and float")
+        return VirtualReg(name, is_float)
+
+
+def _parse_operand(text: str, classes: _RegClasses,
+                   is_float: Optional[bool]):
+    text = text.strip()
+    if re.fullmatch(_NUMBER, text):
+        if any(c in text for c in ".eE") and not text.lstrip("-").isdigit():
+            return Constant(float(text), True)
+        value = int(text)
+        if is_float:
+            return Constant(float(value), True)
+        return Constant(value, False)
+    if re.fullmatch(_IDENT, text):
+        return classes.reg(text, is_float)
+    raise IRError(f"cannot parse operand {text!r}")
+
+
+def _split_args(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",")] if text.strip() \
+        else []
+
+
+class _Assembler:
+    def __init__(self, text: str):
+        self.lines = [ln.strip() for ln in text.splitlines()]
+        self.pos = 0
+        self.module = Module()
+        self.arrays: Dict[str, ArraySymbol] = {}
+
+    def parse(self) -> Module:
+        while self.pos < len(self.lines):
+            line = self.lines[self.pos]
+            if not line or line.startswith("#") or line.startswith("//"):
+                self.pos += 1
+            elif line.startswith("module"):
+                self.module.name = line.split(None, 1)[1].strip() \
+                    if " " in line else "<module>"
+                self.pos += 1
+            elif line.startswith("global"):
+                self._parse_global(line)
+                self.pos += 1
+            elif line.startswith("func"):
+                self._parse_function()
+            else:
+                raise IRError(f"unexpected top-level line: {line!r}")
+        return self.module
+
+    # -- globals ------------------------------------------------------------------
+
+    def _parse_global(self, line: str) -> None:
+        match = _GLOBAL_RE.match(line)
+        if match is None:
+            raise IRError(f"bad global declaration: {line!r}")
+        type_name, name, size, init_text = match.groups()
+        is_float = type_name == "float"
+        init: Optional[List[float]] = None
+        if size is None:
+            # Scalar: one-element backing array, like the lowering stage.
+            value = 0.0
+            if init_text is not None:
+                value = float(init_text) if is_float else int(init_text)
+            symbol = ArraySymbol(name, 1, is_float, is_global=True)
+            self.module.add_global_array(symbol, [value])
+            self.module.add_global_scalar(name, is_float, value)
+            self.arrays[name] = symbol
+            return
+        if init_text is not None:
+            body = init_text.strip()
+            if not (body.startswith("{") and body.endswith("}")):
+                raise IRError(f"array initializer must be braced: {line!r}")
+            items = _split_args(body[1:-1])
+            init = [float(v) if is_float else int(v) for v in items]
+        symbol = ArraySymbol(name, int(size), is_float, is_global=True)
+        self.module.add_global_array(symbol, init)
+        self.arrays[name] = symbol
+
+    # -- functions ------------------------------------------------------------------
+
+    def _parse_function(self) -> None:
+        match = _FUNC_RE.match(self.lines[self.pos])
+        if match is None:
+            raise IRError(f"bad function header: "
+                          f"{self.lines[self.pos]!r}")
+        return_type, name, params_text = match.groups()
+        classes = _RegClasses(name)
+        params = []
+        local_arrays: Dict[str, ArraySymbol] = {}
+        for part in _split_args(params_text):
+            tokens = part.split()
+            if len(tokens) != 2:
+                raise IRError(f"bad parameter {part!r} in {name}")
+            type_name, pname = tokens
+            arr_match = re.fullmatch(rf"({_IDENT})\[(\d*)\]", pname)
+            if arr_match is not None:
+                aname, asize = arr_match.groups()
+                symbol = ArraySymbol(aname, int(asize) if asize else 0,
+                                     type_name == "float",
+                                     is_global=False)
+                params.append(symbol)
+                local_arrays[aname] = symbol
+            else:
+                params.append(classes.reg(pname, type_name == "float"))
+        fn = Function(name, params, return_type)
+        self.pos += 1
+
+        while True:
+            if self.pos >= len(self.lines):
+                raise IRError(f"unterminated function {name!r}")
+            line = self.lines[self.pos]
+            self.pos += 1
+            if not line or line.startswith("#") or line.startswith("//"):
+                continue
+            if line == "}":
+                break
+            local = _LOCAL_RE.match(line)
+            if local is not None:
+                type_name, aname, asize = local.groups()
+                symbol = ArraySymbol(aname, int(asize),
+                                     type_name == "float",
+                                     is_global=False)
+                fn.local_arrays.append(symbol)
+                local_arrays[aname] = symbol
+                continue
+            label = _LABEL_RE.match(line)
+            if label is not None:
+                fn.emit(Label(label.group(1)))
+                continue
+            fn.emit(self._parse_instruction(line, classes, local_arrays))
+        self.module.add_function(fn)
+
+    # -- instructions -----------------------------------------------------------------
+
+    def _lookup_array(self, name: str,
+                      local_arrays: Dict[str, ArraySymbol]) -> ArraySymbol:
+        symbol = local_arrays.get(name) or self.arrays.get(name)
+        if symbol is None:
+            raise IRError(f"reference to unknown array {name!r}")
+        return symbol
+
+    def _parse_instruction(self, line: str, classes: _RegClasses,
+                           local_arrays) -> Instruction:
+        assign = _ASSIGN_RE.match(line)
+        dest_name: Optional[str] = None
+        body = line
+        if assign is not None and not line.startswith(
+                ("br ", "jmp ", "ret", "store ", "fstore ")):
+            dest_name, body = assign.groups()
+
+        tokens = body.split(None, 1)
+        op_name = tokens[0]
+        rest = tokens[1] if len(tokens) > 1 else ""
+
+        if dest_name is not None and op_name in (
+                "store", "fstore", "br", "jmp", "ret", "nop"):
+            raise IRError(f"{op_name} cannot define a register: {line!r}")
+
+        if op_name in ("store", "fstore"):
+            # store @arr[index], value
+            ref_text, value_text = [p.strip() for p in rest.split(",", 1)]
+            ref = _MEMREF_RE.match(ref_text)
+            if ref is None:
+                raise IRError(f"bad store reference in {line!r}")
+            array = self._lookup_array(ref.group(1), local_arrays)
+            index = _parse_operand(ref.group(2), classes, False)
+            value = _parse_operand(value_text, classes, array.is_float)
+            op = Op.FSTORE if array.is_float else Op.STORE
+            if (op is Op.FSTORE) != (op_name == "fstore"):
+                raise IRError(f"store kind mismatches array: {line!r}")
+            return Instruction(op, srcs=(value, index), array=array)
+
+        if op_name in ("load", "fload"):
+            ref = _MEMREF_RE.match(rest.strip())
+            if ref is None:
+                raise IRError(f"bad load reference in {line!r}")
+            array = self._lookup_array(ref.group(1), local_arrays)
+            if (array.is_float) != (op_name == "fload"):
+                raise IRError(f"load kind mismatches array: {line!r}")
+            index = _parse_operand(ref.group(2), classes, False)
+            dest = classes.reg(dest_name, array.is_float)
+            op = Op.FLOAD if array.is_float else Op.LOAD
+            return Instruction(op, dest=dest, srcs=(index,), array=array)
+
+        if op_name == "br":
+            cond_text, true_label, false_label = _split_args(rest)
+            cond = _parse_operand(cond_text, classes, False)
+            return Instruction(Op.BR, srcs=(cond,),
+                               true_label=true_label,
+                               false_label=false_label)
+        if op_name == "jmp":
+            return Instruction(Op.JMP, true_label=rest.strip())
+        if op_name == "ret":
+            if not rest.strip():
+                return Instruction(Op.RET)
+            value = _parse_operand(rest, classes, None)
+            return Instruction(Op.RET, srcs=(value,))
+
+        if op_name in ("call", "intrin"):
+            call_match = re.match(rf"({_IDENT})\((.*)\)$", rest.strip())
+            if call_match is None:
+                raise IRError(f"bad call syntax: {line!r}")
+            callee, args_text = call_match.groups()
+            args = []
+            for arg in _split_args(args_text):
+                if arg in self.arrays or arg in local_arrays:
+                    args.append(self._lookup_array(arg, local_arrays))
+                else:
+                    args.append(_parse_operand(arg, classes, None))
+            op = Op.CALL if op_name == "call" else Op.INTRIN
+            dest = None
+            if dest_name is not None:
+                dest_float: Optional[bool] = None
+                if op is Op.INTRIN:
+                    from repro.lang.symbols import INTRINSICS
+                    signature = INTRINSICS.get(callee)
+                    if signature is not None:
+                        dest_float = signature[1].is_float
+                else:
+                    parsed = self.module.functions.get(callee)
+                    if parsed is not None:
+                        dest_float = parsed.return_type == "float"
+                dest = classes.reg(dest_name, dest_float)
+            return Instruction(op, dest=dest, srcs=args, callee=callee)
+
+        op = _OPS_BY_NAME.get(op_name)
+        if op is None:
+            raise IRError(f"unknown opcode {op_name!r} in {line!r}")
+        src_float: Optional[bool]
+        if op_name in _INT_SRC:
+            src_float = False
+        elif op_name in _FLOAT_SRC:
+            src_float = True
+        else:
+            src_float = None
+        srcs = tuple(_parse_operand(part, classes, src_float)
+                     for part in _split_args(rest))
+        dest = None
+        if dest_name is not None:
+            want = result_type(op)
+            if want == "none":
+                raise IRError(f"{op_name} cannot define a register: "
+                              f"{line!r}")
+            dest = classes.reg(dest_name, want == "float")
+        return Instruction(op, dest=dest, srcs=srcs)
+
+
+def parse_module(text: str) -> Module:
+    """Assemble textual IR into a :class:`~repro.ir.module.Module`."""
+    return _Assembler(text).parse()
+
+
+def parse_function(text: str) -> Function:
+    """Assemble a single ``func ... { }`` block (no module wrapper)."""
+    module = _Assembler(text).parse()
+    functions = list(module.functions.values())
+    if len(functions) != 1:
+        raise IRError("parse_function expects exactly one function")
+    return functions[0]

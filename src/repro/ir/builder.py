@@ -1,0 +1,139 @@
+"""Convenience builder for emitting three-address code.
+
+The lowering stage drives an :class:`IRBuilder`; tests also use it to write
+small IR snippets by hand without going through the mini-C front end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.errors import IRError
+from repro.ir.instr import Instruction
+from repro.ir.ops import Op, is_float_op, result_type
+from repro.ir.values import ArraySymbol, Constant, Label, VirtualReg
+
+Operand = Union[VirtualReg, Constant, int, float]
+
+
+def _coerce(value: Operand, is_float: bool = False):
+    """Turn raw Python numbers into :class:`Constant` operands."""
+    if isinstance(value, (VirtualReg, Constant)):
+        return value
+    if isinstance(value, bool):
+        return Constant(int(value), False)
+    if isinstance(value, int) and not is_float:
+        return Constant(value, False)
+    if isinstance(value, (int, float)):
+        return Constant(float(value), True) if is_float else Constant(value, isinstance(value, float))
+    raise IRError(f"cannot use {value!r} as an operand")
+
+
+class IRBuilder:
+    """Emit instructions into a :class:`~repro.ir.function.Function`."""
+
+    def __init__(self, function):
+        self.function = function
+
+    # -- primitives ------------------------------------------------------------
+
+    def temp(self, is_float: bool = False) -> VirtualReg:
+        return self.function.new_temp(is_float)
+
+    def label(self, hint: str = "L") -> str:
+        return self.function.new_label(hint)
+
+    def place(self, label_name: str) -> None:
+        """Place a previously allocated label at the current position."""
+        self.function.emit(Label(label_name))
+
+    def emit(self, instr: Instruction) -> Instruction:
+        self.function.emit(instr)
+        return instr
+
+    # -- typed emission helpers ---------------------------------------------------
+
+    def binary(self, op: Op, a: Operand, b: Operand,
+               dest: Optional[VirtualReg] = None) -> VirtualReg:
+        """Emit ``dest = op(a, b)`` and return the destination register."""
+        want_float = is_float_op(op)
+        a = _coerce(a, want_float)
+        b = _coerce(b, want_float)
+        if dest is None:
+            dest = self.temp(result_type(op) == "float")
+        self.emit(Instruction(op, dest=dest, srcs=(a, b)))
+        return dest
+
+    def unary(self, op: Op, a: Operand,
+              dest: Optional[VirtualReg] = None) -> VirtualReg:
+        want_float = is_float_op(op)
+        a = _coerce(a, want_float)
+        if dest is None:
+            dest = self.temp(result_type(op) == "float")
+        self.emit(Instruction(op, dest=dest, srcs=(a,)))
+        return dest
+
+    def move(self, src: Operand, dest: Optional[VirtualReg] = None,
+             is_float: Optional[bool] = None) -> VirtualReg:
+        src = _coerce(src, bool(is_float))
+        if is_float is None:
+            is_float = getattr(src, "is_float", False)
+        if dest is None:
+            dest = self.temp(is_float)
+        op = Op.FMOV if is_float else Op.MOV
+        self.emit(Instruction(op, dest=dest, srcs=(src,)))
+        return dest
+
+    def load(self, array: ArraySymbol, index: Operand,
+             dest: Optional[VirtualReg] = None) -> VirtualReg:
+        index = _coerce(index)
+        if dest is None:
+            dest = self.temp(array.is_float)
+        op = Op.FLOAD if array.is_float else Op.LOAD
+        self.emit(Instruction(op, dest=dest, srcs=(index,), array=array))
+        return dest
+
+    def store(self, array: ArraySymbol, index: Operand,
+              value: Operand) -> Instruction:
+        index = _coerce(index)
+        value = _coerce(value, array.is_float)
+        op = Op.FSTORE if array.is_float else Op.STORE
+        return self.emit(Instruction(op, srcs=(value, index), array=array))
+
+    def branch(self, cond: Operand, true_label: str,
+               false_label: str) -> Instruction:
+        cond = _coerce(cond)
+        return self.emit(Instruction(Op.BR, srcs=(cond,),
+                                     true_label=true_label,
+                                     false_label=false_label))
+
+    def jump(self, label: str) -> Instruction:
+        return self.emit(Instruction(Op.JMP, true_label=label))
+
+    def ret(self, value: Optional[Operand] = None,
+            is_float: bool = False) -> Instruction:
+        srcs = () if value is None else (_coerce(value, is_float),)
+        return self.emit(Instruction(Op.RET, srcs=srcs))
+
+    def call(self, callee: str, args: Sequence[Operand] = (),
+             dest: Optional[VirtualReg] = None) -> Optional[VirtualReg]:
+        args = tuple(_coerce(a) for a in args)
+        self.emit(Instruction(Op.CALL, dest=dest, srcs=args, callee=callee))
+        return dest
+
+    def intrinsic(self, name: str, args: Sequence[Operand],
+                  dest: Optional[VirtualReg] = None) -> VirtualReg:
+        args = tuple(_coerce(a, True) for a in args)
+        if dest is None:
+            dest = self.temp(True)
+        self.emit(Instruction(Op.INTRIN, dest=dest, srcs=args, callee=name))
+        return dest
+
+    def convert(self, src: Operand, to_float: bool,
+                dest: Optional[VirtualReg] = None) -> VirtualReg:
+        op = Op.ITOF if to_float else Op.FTOI
+        src = _coerce(src, not to_float)
+        if dest is None:
+            dest = self.temp(to_float)
+        self.emit(Instruction(op, dest=dest, srcs=(src,)))
+        return dest

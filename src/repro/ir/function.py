@@ -1,0 +1,106 @@
+"""Linear three-address function: a list of instructions plus labels.
+
+This is the form produced by the front end (paper Figure 2, step 1).  Code in
+a :class:`Function` is sequential — exactly "the operation ordering created by
+the compiler ... derived from the sequential statements in the high-level
+language" that the paper contrasts against optimized program graphs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.errors import IRError
+from repro.ir.instr import Instruction
+from repro.ir.values import ArraySymbol, Label, VirtualReg
+
+Item = Union[Instruction, Label]
+
+
+class Function:
+    """A function in linear three-address form.
+
+    Attributes
+    ----------
+    name:
+        Function name; ``main`` is the simulator entry point.
+    params:
+        Formal parameters.  Scalars are :class:`VirtualReg`; array parameters
+        are :class:`ArraySymbol` placeholders bound to caller arrays at call
+        time (mini-C passes arrays by reference).
+    return_type:
+        ``"int"``, ``"float"`` or ``"void"``.
+    body:
+        Interleaved :class:`Instruction` and :class:`Label` items.
+    local_arrays:
+        Arrays declared inside the function (storage instantiated per call).
+    """
+
+    def __init__(self, name: str, params: Sequence = (),
+                 return_type: str = "void"):
+        self.name = name
+        self.params = list(params)
+        self.return_type = return_type
+        self.body: List[Item] = []
+        self.local_arrays: List[ArraySymbol] = []
+        self._temp_counter = itertools.count(0)
+        self._label_counter = itertools.count(0)
+
+    # -- construction -----------------------------------------------------------
+
+    def new_temp(self, is_float: bool = False) -> VirtualReg:
+        """Allocate a fresh virtual register."""
+        prefix = "f" if is_float else "t"
+        return VirtualReg(f"{prefix}{next(self._temp_counter)}", is_float)
+
+    def new_label(self, hint: str = "L") -> str:
+        """Allocate a fresh label name."""
+        return f".{hint}{next(self._label_counter)}"
+
+    def emit(self, item: Item) -> Item:
+        """Append an instruction or label to the body."""
+        if not isinstance(item, (Instruction, Label)):
+            raise IRError(f"cannot emit {item!r} into a function body")
+        self.body.append(item)
+        return item
+
+    # -- accessors ---------------------------------------------------------------
+
+    def instructions(self) -> Iterator[Instruction]:
+        """Iterate over instructions, skipping labels."""
+        return (it for it in self.body if isinstance(it, Instruction))
+
+    def labels(self) -> Dict[str, int]:
+        """Map label name -> index in ``body``."""
+        return {it.name: i for i, it in enumerate(self.body)
+                if isinstance(it, Label)}
+
+    def instruction_count(self) -> int:
+        return sum(1 for _ in self.instructions())
+
+    def scalar_params(self) -> List[VirtualReg]:
+        return [p for p in self.params if isinstance(p, VirtualReg)]
+
+    def array_params(self) -> List[ArraySymbol]:
+        return [p for p in self.params if isinstance(p, ArraySymbol)]
+
+    def registers(self) -> List[VirtualReg]:
+        """All registers referenced anywhere in the body (stable order)."""
+        seen: Dict[VirtualReg, None] = {}
+        for p in self.scalar_params():
+            seen.setdefault(p)
+        for ins in self.instructions():
+            for r in ins.defs() + ins.uses():
+                seen.setdefault(r)
+        return list(seen)
+
+    def find_array(self, name: str) -> Optional[ArraySymbol]:
+        for arr in itertools.chain(self.local_arrays, self.array_params()):
+            if arr.name == name:
+                return arr
+        return None
+
+    def __repr__(self) -> str:
+        return (f"<Function {self.name}({len(self.params)} params, "
+                f"{self.instruction_count()} instrs)>")

@@ -1,0 +1,73 @@
+"""A module: the unit of compilation (one benchmark program).
+
+A :class:`Module` owns the global arrays (the benchmark's input/output
+buffers), global scalar initial values, and every function.  ``main`` is the
+entry point the simulator executes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import IRError
+from repro.ir.function import Function
+from repro.ir.values import ArraySymbol, VirtualReg
+
+
+class Module:
+    """A compiled mini-C translation unit."""
+
+    def __init__(self, name: str = "<module>"):
+        self.name = name
+        self.functions: Dict[str, Function] = {}
+        self.global_arrays: Dict[str, ArraySymbol] = {}
+        # Initial contents for global arrays that carry initializers
+        # (e.g. filter coefficient tables): name -> list of numbers.
+        self.array_initializers: Dict[str, List[float]] = {}
+        # Global scalars: name -> (is_float, initial value).
+        self.global_scalars: Dict[str, tuple] = {}
+
+    def add_function(self, fn: Function) -> Function:
+        if fn.name in self.functions:
+            raise IRError(f"duplicate function {fn.name!r}")
+        self.functions[fn.name] = fn
+        return fn
+
+    def add_global_array(self, sym: ArraySymbol,
+                         init: Optional[List[float]] = None) -> ArraySymbol:
+        if sym.name in self.global_arrays:
+            raise IRError(f"duplicate global array {sym.name!r}")
+        self.global_arrays[sym.name] = sym
+        if init is not None:
+            if len(init) > sym.size:
+                raise IRError(
+                    f"initializer for {sym.name!r} has {len(init)} elements "
+                    f"but the array holds {sym.size}")
+            self.array_initializers[sym.name] = list(init)
+        return sym
+
+    def add_global_scalar(self, name: str, is_float: bool,
+                          value: float) -> None:
+        if name in self.global_scalars:
+            raise IRError(f"duplicate global scalar {name!r}")
+        self.global_scalars[name] = (is_float, value)
+
+    @property
+    def entry(self) -> Function:
+        try:
+            return self.functions["main"]
+        except KeyError:
+            raise IRError(f"module {self.name!r} has no main function")
+
+    def get_function(self, name: str) -> Function:
+        try:
+            return self.functions[name]
+        except KeyError:
+            raise IRError(f"unknown function {name!r}")
+
+    def total_instructions(self) -> int:
+        return sum(f.instruction_count() for f in self.functions.values())
+
+    def __repr__(self) -> str:
+        return (f"<Module {self.name}: {len(self.functions)} functions, "
+                f"{self.total_instructions()} instructions>")

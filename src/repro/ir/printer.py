@@ -1,0 +1,89 @@
+"""Human-readable rendering of three-address code.
+
+The textual form is stable enough for golden tests, e.g.::
+
+    t2 = add t0, t1
+    f3 = fload @coeff[35][t2]
+    fstore @out[100][f4], t2
+    br t5, .L0, .L1
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.ir.instr import Instruction
+from repro.ir.ops import Op
+from repro.ir.values import Label
+
+
+def format_instruction(ins: Instruction) -> str:
+    """Render one instruction."""
+    op = ins.op
+    if op in (Op.STORE, Op.FSTORE):
+        value, index = ins.srcs
+        return f"{op.value} @{ins.array.name}[{index}], {value}"
+    if op in (Op.LOAD, Op.FLOAD):
+        (index,) = ins.srcs
+        return f"{ins.dest} = {op.value} @{ins.array.name}[{index}]"
+    if op is Op.BR:
+        (cond,) = ins.srcs
+        return f"br {cond}, {ins.true_label}, {ins.false_label}"
+    if op is Op.JMP:
+        return f"jmp {ins.true_label}"
+    if op is Op.RET:
+        if ins.srcs:
+            return f"ret {ins.srcs[0]}"
+        return "ret"
+    if op in (Op.CALL, Op.INTRIN):
+        args = ", ".join(str(s) for s in ins.srcs)
+        call = f"{op.value} {ins.callee}({args})"
+        return f"{ins.dest} = {call}" if ins.dest is not None else call
+    if op is Op.NOP:
+        return "nop"
+    if op is Op.CHAIN:
+        inner = "; ".join(format_instruction(p) for p in ins.parts)
+        return f"{ins.chain.name} {{ {inner} }}"
+    operands = ", ".join(str(s) for s in ins.srcs)
+    if ins.dest is not None:
+        return f"{ins.dest} = {op.value} {operands}"
+    return f"{op.value} {operands}"
+
+
+def format_function(fn) -> str:
+    """Render a whole function, labels outdented."""
+    params = ", ".join(
+        f"{p.type_name} {p.name}" if hasattr(p, "name") else str(p)
+        for p in fn.params
+    )
+    lines = [f"func {fn.return_type} {fn.name}({params}) {{"]
+    for arr in fn.local_arrays:
+        lines.append(f"  local {arr.type_name} {arr.name}[{arr.size}]")
+    for item in fn.body:
+        if isinstance(item, Label):
+            lines.append(str(item))
+        else:
+            lines.append(f"  {format_instruction(item)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module) -> str:
+    """Render a whole module."""
+    lines = [f"module {module.name}"]
+    for name, (is_float, value) in sorted(module.global_scalars.items()):
+        ty = "float" if is_float else "int"
+        lines.append(f"global {ty} {name} = {value}")
+    for name, sym in sorted(module.global_arrays.items()):
+        if name in module.global_scalars:
+            continue  # backing storage of a scalar already shown above
+        init = module.array_initializers.get(name)
+        suffix = ""
+        if init:
+            values = ", ".join(repr(v) for v in init)
+            suffix = f" = {{ {values} }}"
+        lines.append(f"global {sym.type_name} {name}[{sym.size}]{suffix}")
+    for fn in module.functions.values():
+        lines.append("")
+        lines.append(format_function(fn))
+    return "\n".join(lines)

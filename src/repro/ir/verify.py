@@ -1,0 +1,115 @@
+"""Structural verification of linear three-address code.
+
+``verify_function`` checks the invariants that every later stage relies on:
+
+* every branch/jump target label exists;
+* operand register classes match the opcode (no float register fed to an
+  integer adder, and vice versa);
+* loads/stores reference arrays of the matching element type;
+* every register is defined before use along the *linear* order (the front
+  end always produces code with this property; the graph form re-checks
+  through dataflow analysis instead);
+* the function ends with control flow (no fall-through off the end).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.errors import IRError
+from repro.ir.instr import Instruction
+from repro.ir.ops import Op, OpKind, kind, result_type
+from repro.ir.values import Constant, Label, VirtualReg
+
+_INT_SRC_OPS = {
+    Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.NEG, Op.AND, Op.OR, Op.XOR,
+    Op.NOT, Op.SHL, Op.SHR, Op.CMPEQ, Op.CMPNE, Op.CMPLT, Op.CMPLE,
+    Op.CMPGT, Op.CMPGE, Op.ITOF, Op.MOV,
+}
+_FLOAT_SRC_OPS = {
+    Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV, Op.FNEG, Op.FCMPEQ, Op.FCMPNE,
+    Op.FCMPLT, Op.FCMPLE, Op.FCMPGT, Op.FCMPGE, Op.FTOI, Op.FMOV,
+}
+
+
+def _check_operand_types(ins: Instruction) -> None:
+    op = ins.op
+    if op in _INT_SRC_OPS:
+        for s in ins.srcs:
+            if getattr(s, "is_float", False):
+                raise IRError(f"integer op uses float operand: {ins}")
+    elif op in _FLOAT_SRC_OPS:
+        for s in ins.srcs:
+            if not getattr(s, "is_float", False):
+                raise IRError(f"float op uses int operand: {ins}")
+    elif op in (Op.LOAD, Op.FLOAD):
+        (index,) = ins.srcs
+        if getattr(index, "is_float", False):
+            raise IRError(f"load index must be integer: {ins}")
+        want = op is Op.FLOAD
+        if ins.array.is_float != want:
+            raise IRError(f"load element type mismatches array: {ins}")
+    elif op in (Op.STORE, Op.FSTORE):
+        value, index = ins.srcs
+        if getattr(index, "is_float", False):
+            raise IRError(f"store index must be integer: {ins}")
+        want = op is Op.FSTORE
+        if ins.array.is_float != want:
+            raise IRError(f"store element type mismatches array: {ins}")
+        if getattr(value, "is_float", False) != want:
+            raise IRError(f"store value type mismatches array: {ins}")
+    elif op is Op.BR:
+        (cond,) = ins.srcs
+        if getattr(cond, "is_float", False):
+            raise IRError(f"branch condition must be integer: {ins}")
+
+    if ins.dest is not None and op not in (Op.CALL, Op.INTRIN):
+        want = result_type(op)
+        if want == "none":
+            raise IRError(f"{op.value} must not define a register: {ins}")
+        if ins.dest.is_float != (want == "float"):
+            raise IRError(f"destination class mismatches opcode: {ins}")
+
+
+def verify_function(fn, module=None) -> None:
+    """Raise :class:`IRError` on the first violated invariant."""
+    labels = fn.labels()
+    defined: Set[VirtualReg] = set(fn.scalar_params())
+    body = fn.body
+
+    if not body:
+        raise IRError(f"function {fn.name!r} has an empty body")
+
+    for item in body:
+        if isinstance(item, Label):
+            continue
+        ins = item
+        _check_operand_types(ins)
+        for target in (ins.true_label, ins.false_label):
+            if target is not None and target not in labels:
+                raise IRError(
+                    f"{fn.name}: branch to unknown label {target!r}: {ins}")
+        if ins.op in (Op.CALL,) and module is not None:
+            if ins.callee not in module.functions:
+                raise IRError(
+                    f"{fn.name}: call to unknown function {ins.callee!r}")
+        for reg in ins.uses():
+            if reg not in defined:
+                # A use before any linear definition.  Loop-carried registers
+                # are defined before the loop by construction in our front
+                # end, so linear def-before-use is a real invariant there.
+                raise IRError(
+                    f"{fn.name}: register {reg} used before definition: {ins}")
+        for reg in ins.defs():
+            defined.add(reg)
+
+    last = body[-1]
+    if isinstance(last, Label) or not last.is_control:
+        raise IRError(f"function {fn.name!r} does not end in control flow")
+
+
+def verify_module(module) -> None:
+    """Verify every function of *module*."""
+    module.entry  # raises if main is missing
+    for fn in module.functions.values():
+        verify_function(fn, module)

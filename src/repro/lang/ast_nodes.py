@@ -1,0 +1,188 @@
+"""Abstract syntax tree of mini-C.
+
+Every expression node gains a ``ty`` attribute during semantic analysis
+(:mod:`repro.lang.sema`); the lowering stage relies on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import SourceLocation
+
+
+@dataclass
+class Node:
+    loc: SourceLocation
+
+
+# ---------------------------------------------------------------- expressions
+
+
+@dataclass
+class Expr(Node):
+    """Base class; ``ty`` is filled in by semantic analysis."""
+
+    def __post_init__(self):
+        self.ty = None
+
+
+@dataclass
+class IntLit(Expr):
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float
+
+
+@dataclass
+class Name(Expr):
+    ident: str
+
+
+@dataclass
+class Index(Expr):
+    """``base[i]`` or ``base[i][j]`` — base is always a Name after parsing."""
+
+    base: Name
+    indices: List[Expr]
+
+
+@dataclass
+class BinOp(Expr):
+    op: str  # "+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^",
+             # "==", "!=", "<", "<=", ">", ">=", "&&", "||"
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class UnOp(Expr):
+    op: str  # "-", "!", "~", "+"
+    operand: Expr
+
+
+@dataclass
+class Cast(Expr):
+    target: str  # "int" | "float"
+    operand: Expr
+
+
+@dataclass
+class Call(Expr):
+    callee: str
+    args: List[Expr]
+
+
+@dataclass
+class Cond(Expr):
+    """Ternary ``c ? a : b``."""
+
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+# ---------------------------------------------------------------- statements
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class Assign(Stmt):
+    """``target op= value``; ``op`` is ``"="`` or a compound like ``"+="``.
+
+    ``target`` is a :class:`Name` or :class:`Index` lvalue.
+    """
+
+    target: Expr
+    op: str
+    value: Expr
+
+
+@dataclass
+class Block(Stmt):
+    items: List[Union["Decl", Stmt]]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    other: Optional[Stmt]
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt]   # Assign or ExprStmt
+    cond: Optional[Expr]
+    step: Optional[Stmt]   # Assign or ExprStmt
+    body: Stmt
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# -------------------------------------------------------------- declarations
+
+
+@dataclass
+class Decl(Node):
+    """One declarator of a scalar or array variable."""
+
+    name: str
+    base_type: str                      # "int" | "float"
+    dims: Tuple[Optional[int], ...]     # () for scalars
+    init: Optional[Union[Expr, List[Expr]]]  # list = brace initializer
+
+
+@dataclass
+class Param(Node):
+    name: str
+    base_type: str
+    dims: Tuple[Optional[int], ...]
+
+
+@dataclass
+class FuncDef(Node):
+    name: str
+    return_type: str  # "int" | "float" | "void"
+    params: List[Param]
+    body: Block
+
+
+@dataclass
+class Program(Node):
+    """A whole translation unit."""
+
+    globals: List[Decl] = field(default_factory=list)
+    functions: List[FuncDef] = field(default_factory=list)

@@ -1,0 +1,130 @@
+"""Hand-written lexer for mini-C.
+
+Supports ``//`` line comments and ``/* */`` block comments, decimal integer
+literals, and float literals in the usual C forms (``1.0``, ``.5``, ``1e-3``,
+``3.f`` minus the suffix — suffixes are not supported).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LexerError, SourceLocation
+from repro.lang.tokens import KEYWORDS, PUNCTUATORS, Token, TokenKind
+
+
+class _Cursor:
+    def __init__(self, text: str, filename: str):
+        self.text = text
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    def loc(self) -> SourceLocation:
+        return SourceLocation(self.line, self.col, self.filename)
+
+    def peek(self, offset: int = 0) -> str:
+        i = self.pos + offset
+        return self.text[i] if i < len(self.text) else ""
+
+    def advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos >= len(self.text):
+                return
+            if self.text[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def startswith(self, s: str) -> bool:
+        return self.text.startswith(s, self.pos)
+
+
+def _skip_trivia(cur: _Cursor) -> None:
+    while not cur.at_end():
+        ch = cur.peek()
+        if ch in " \t\r\n":
+            cur.advance()
+        elif cur.startswith("//"):
+            while not cur.at_end() and cur.peek() != "\n":
+                cur.advance()
+        elif cur.startswith("/*"):
+            start = cur.loc()
+            cur.advance(2)
+            while not cur.startswith("*/"):
+                if cur.at_end():
+                    raise LexerError("unterminated block comment", start)
+                cur.advance()
+            cur.advance(2)
+        else:
+            return
+
+
+def _lex_number(cur: _Cursor) -> Token:
+    loc = cur.loc()
+    start = cur.pos
+    saw_dot = False
+    saw_exp = False
+    while True:
+        ch = cur.peek()
+        if ch.isdigit():
+            cur.advance()
+        elif ch == "." and not saw_dot and not saw_exp:
+            saw_dot = True
+            cur.advance()
+        elif ch in "eE" and not saw_exp and cur.pos > start:
+            nxt = cur.peek(1)
+            if nxt.isdigit() or (nxt in "+-" and cur.peek(2).isdigit()):
+                saw_exp = True
+                cur.advance()
+                if cur.peek() in "+-":
+                    cur.advance()
+            else:
+                break
+        else:
+            break
+    text = cur.text[start:cur.pos]
+    if saw_dot or saw_exp:
+        return Token(TokenKind.FLOAT, text, loc)
+    return Token(TokenKind.INT, text, loc)
+
+
+def _lex_word(cur: _Cursor) -> Token:
+    loc = cur.loc()
+    start = cur.pos
+    while cur.peek().isalnum() or cur.peek() == "_":
+        cur.advance()
+    text = cur.text[start:cur.pos]
+    kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+    return Token(kind, text, loc)
+
+
+def tokenize(source: str, filename: str = "<source>") -> List[Token]:
+    """Tokenize *source*, returning a list ending with an EOF token."""
+    cur = _Cursor(source, filename)
+    tokens: List[Token] = []
+    while True:
+        _skip_trivia(cur)
+        if cur.at_end():
+            tokens.append(Token(TokenKind.EOF, "", cur.loc()))
+            return tokens
+        ch = cur.peek()
+        if ch.isdigit() or (ch == "." and cur.peek(1).isdigit()):
+            tokens.append(_lex_number(cur))
+        elif ch.isalpha() or ch == "_":
+            tokens.append(_lex_word(cur))
+        else:
+            loc = cur.loc()
+            for punct in PUNCTUATORS:
+                if cur.startswith(punct):
+                    cur.advance(len(punct))
+                    tokens.append(Token(TokenKind.PUNCT, punct, loc))
+                    break
+            else:
+                raise LexerError(f"unexpected character {ch!r}", loc)

@@ -1,0 +1,384 @@
+"""Recursive-descent parser for mini-C.
+
+Expression parsing uses precedence climbing with the standard C precedence
+table.  The parser is deliberately strict: anything outside the supported
+subset is a :class:`~repro.errors.ParseError` with a source location, which
+keeps benchmark authoring honest.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenKind
+
+# Binary operator precedence, high binds tighter.  (Assignment and comma are
+# handled structurally, not as expression operators.)
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = ("=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+               "<<=", ">>=")
+
+_TYPE_NAMES = ("int", "float", "void")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def expect_punct(self, text: str) -> Token:
+        tok = self.peek()
+        if not tok.is_punct(text):
+            raise ParseError(f"expected {text!r}, found {tok}", tok.loc)
+        return self.advance()
+
+    def expect_ident(self) -> Token:
+        tok = self.peek()
+        if tok.kind is not TokenKind.IDENT:
+            raise ParseError(f"expected identifier, found {tok}", tok.loc)
+        return self.advance()
+
+    def accept_punct(self, text: str) -> Optional[Token]:
+        if self.peek().is_punct(text):
+            return self.advance()
+        return None
+
+    def at_type(self, offset: int = 0) -> bool:
+        tok = self.peek(offset)
+        return tok.kind is TokenKind.KEYWORD and tok.text in _TYPE_NAMES
+
+    # -- top level ----------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        first_loc = self.peek().loc
+        program = ast.Program(loc=first_loc)
+        while self.peek().kind is not TokenKind.EOF:
+            if not self.at_type():
+                raise ParseError(
+                    f"expected a declaration, found {self.peek()}",
+                    self.peek().loc)
+            # Distinguish function definitions from variable declarations by
+            # looking past "type ident" for "(".
+            if (self.peek(1).kind is TokenKind.IDENT
+                    and self.peek(2).is_punct("(")):
+                program.functions.append(self.parse_function())
+            else:
+                program.globals.extend(self.parse_decl_list())
+        return program
+
+    def parse_function(self) -> ast.FuncDef:
+        type_tok = self.advance()
+        name_tok = self.expect_ident()
+        self.expect_punct("(")
+        params: List[ast.Param] = []
+        if not self.peek().is_punct(")"):
+            params.append(self.parse_param())
+            while self.accept_punct(","):
+                params.append(self.parse_param())
+        self.expect_punct(")")
+        body = self.parse_block()
+        return ast.FuncDef(loc=type_tok.loc, name=name_tok.text,
+                           return_type=type_tok.text, params=params,
+                           body=body)
+
+    def parse_param(self) -> ast.Param:
+        if not self.at_type() or self.peek().text == "void":
+            raise ParseError(f"expected parameter type, found {self.peek()}",
+                             self.peek().loc)
+        type_tok = self.advance()
+        name_tok = self.expect_ident()
+        dims: List[Optional[int]] = []
+        while self.accept_punct("["):
+            if self.peek().is_punct("]"):
+                dims.append(None)
+            else:
+                dims.append(self._parse_extent())
+            self.expect_punct("]")
+        if len(dims) > 2:
+            raise ParseError("arrays have at most two dimensions",
+                             name_tok.loc)
+        return ast.Param(loc=type_tok.loc, name=name_tok.text,
+                         base_type=type_tok.text, dims=tuple(dims))
+
+    def _parse_extent(self) -> int:
+        tok = self.peek()
+        if tok.kind is not TokenKind.INT:
+            raise ParseError("array extent must be an integer literal",
+                             tok.loc)
+        self.advance()
+        value = int(tok.text)
+        if value <= 0:
+            raise ParseError("array extent must be positive", tok.loc)
+        return value
+
+    def parse_decl_list(self) -> List[ast.Decl]:
+        """Parse ``type declarator (, declarator)* ;``."""
+        type_tok = self.advance()
+        if type_tok.text == "void":
+            raise ParseError("variables cannot have void type", type_tok.loc)
+        decls = [self.parse_declarator(type_tok.text)]
+        while self.accept_punct(","):
+            decls.append(self.parse_declarator(type_tok.text))
+        self.expect_punct(";")
+        return decls
+
+    def parse_declarator(self, base_type: str) -> ast.Decl:
+        name_tok = self.expect_ident()
+        dims: List[int] = []
+        while self.accept_punct("["):
+            dims.append(self._parse_extent())
+            self.expect_punct("]")
+        if len(dims) > 2:
+            raise ParseError("arrays have at most two dimensions",
+                             name_tok.loc)
+        init = None
+        if self.accept_punct("="):
+            if self.peek().is_punct("{"):
+                init = self.parse_brace_initializer()
+            else:
+                init = self.parse_expr()
+        return ast.Decl(loc=name_tok.loc, name=name_tok.text,
+                        base_type=base_type, dims=tuple(dims), init=init)
+
+    def parse_brace_initializer(self) -> List[ast.Expr]:
+        self.expect_punct("{")
+        items = [self.parse_expr()]
+        while self.accept_punct(","):
+            if self.peek().is_punct("}"):
+                break  # trailing comma
+            items.append(self.parse_expr())
+        self.expect_punct("}")
+        return items
+
+    # -- statements ------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        open_tok = self.expect_punct("{")
+        items: List = []
+        while not self.peek().is_punct("}"):
+            if self.peek().kind is TokenKind.EOF:
+                raise ParseError("unterminated block", open_tok.loc)
+            if self.at_type():
+                items.extend(self.parse_decl_list())
+            else:
+                items.append(self.parse_statement())
+        self.expect_punct("}")
+        return ast.Block(loc=open_tok.loc, items=items)
+
+    def parse_statement(self) -> ast.Stmt:
+        tok = self.peek()
+        if tok.is_punct("{"):
+            return self.parse_block()
+        if tok.is_keyword("if"):
+            return self.parse_if()
+        if tok.is_keyword("while"):
+            return self.parse_while()
+        if tok.is_keyword("for"):
+            return self.parse_for()
+        if tok.is_keyword("return"):
+            self.advance()
+            value = None
+            if not self.peek().is_punct(";"):
+                value = self.parse_expr()
+            self.expect_punct(";")
+            return ast.Return(loc=tok.loc, value=value)
+        if tok.is_keyword("break"):
+            self.advance()
+            self.expect_punct(";")
+            return ast.Break(loc=tok.loc)
+        if tok.is_keyword("continue"):
+            self.advance()
+            self.expect_punct(";")
+            return ast.Continue(loc=tok.loc)
+        if tok.is_punct(";"):
+            self.advance()
+            return ast.Block(loc=tok.loc, items=[])
+        stmt = self.parse_simple_statement()
+        self.expect_punct(";")
+        return stmt
+
+    def parse_simple_statement(self) -> ast.Stmt:
+        """An assignment, increment/decrement, or bare expression."""
+        loc = self.peek().loc
+        expr = self.parse_expr()
+        tok = self.peek()
+        if tok.kind is TokenKind.PUNCT and tok.text in _ASSIGN_OPS:
+            self._require_lvalue(expr)
+            self.advance()
+            value = self.parse_expr()
+            return ast.Assign(loc=loc, target=expr, op=tok.text, value=value)
+        if tok.is_punct("++") or tok.is_punct("--"):
+            self._require_lvalue(expr)
+            self.advance()
+            one = ast.IntLit(loc=tok.loc, value=1)
+            op = "+=" if tok.text == "++" else "-="
+            return ast.Assign(loc=loc, target=expr, op=op, value=one)
+        return ast.ExprStmt(loc=loc, expr=expr)
+
+    @staticmethod
+    def _require_lvalue(expr: ast.Expr) -> None:
+        if not isinstance(expr, (ast.Name, ast.Index)):
+            raise ParseError("assignment target must be a variable or "
+                             "array element", expr.loc)
+
+    def parse_if(self) -> ast.If:
+        tok = self.advance()
+        self.expect_punct("(")
+        cond = self.parse_expr()
+        self.expect_punct(")")
+        then = self.parse_statement()
+        other = None
+        if self.peek().is_keyword("else"):
+            self.advance()
+            other = self.parse_statement()
+        return ast.If(loc=tok.loc, cond=cond, then=then, other=other)
+
+    def parse_while(self) -> ast.While:
+        tok = self.advance()
+        self.expect_punct("(")
+        cond = self.parse_expr()
+        self.expect_punct(")")
+        body = self.parse_statement()
+        return ast.While(loc=tok.loc, cond=cond, body=body)
+
+    def parse_for(self) -> ast.For:
+        tok = self.advance()
+        self.expect_punct("(")
+        init = None
+        if not self.peek().is_punct(";"):
+            init = self.parse_simple_statement()
+        self.expect_punct(";")
+        cond = None
+        if not self.peek().is_punct(";"):
+            cond = self.parse_expr()
+        self.expect_punct(";")
+        step = None
+        if not self.peek().is_punct(")"):
+            step = self.parse_simple_statement()
+        self.expect_punct(")")
+        body = self.parse_statement()
+        return ast.For(loc=tok.loc, init=init, cond=cond, step=step,
+                       body=body)
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> ast.Expr:
+        cond = self.parse_binary(1)
+        if self.accept_punct("?"):
+            then = self.parse_expr()
+            self.expect_punct(":")
+            other = self.parse_ternary()
+            return ast.Cond(loc=cond.loc, cond=cond, then=then, other=other)
+        return cond
+
+    def parse_binary(self, min_prec: int) -> ast.Expr:
+        lhs = self.parse_unary()
+        while True:
+            tok = self.peek()
+            prec = _PRECEDENCE.get(tok.text) if tok.kind is TokenKind.PUNCT \
+                else None
+            if prec is None or prec < min_prec:
+                return lhs
+            self.advance()
+            rhs = self.parse_binary(prec + 1)
+            lhs = ast.BinOp(loc=tok.loc, op=tok.text, lhs=lhs, rhs=rhs)
+
+    def parse_unary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind is TokenKind.PUNCT and tok.text in ("-", "!", "~", "+"):
+            self.advance()
+            operand = self.parse_unary()
+            if tok.text == "+":
+                return operand
+            return ast.UnOp(loc=tok.loc, op=tok.text, operand=operand)
+        # Cast: "(" type ")" unary
+        if (tok.is_punct("(") and self.peek(1).kind is TokenKind.KEYWORD
+                and self.peek(1).text in ("int", "float")
+                and self.peek(2).is_punct(")")):
+            self.advance()
+            type_tok = self.advance()
+            self.advance()
+            operand = self.parse_unary()
+            return ast.Cast(loc=tok.loc, target=type_tok.text,
+                            operand=operand)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.peek().is_punct("["):
+                if not isinstance(expr, ast.Name):
+                    raise ParseError("only named arrays can be indexed",
+                                     self.peek().loc)
+                indices: List[ast.Expr] = []
+                while self.accept_punct("["):
+                    indices.append(self.parse_expr())
+                    self.expect_punct("]")
+                if len(indices) > 2:
+                    raise ParseError("arrays have at most two dimensions",
+                                     expr.loc)
+                expr = ast.Index(loc=expr.loc, base=expr, indices=indices)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        tok = self.peek()
+        if tok.kind is TokenKind.INT:
+            self.advance()
+            return ast.IntLit(loc=tok.loc, value=int(tok.text))
+        if tok.kind is TokenKind.FLOAT:
+            self.advance()
+            return ast.FloatLit(loc=tok.loc, value=float(tok.text))
+        if tok.kind is TokenKind.IDENT:
+            self.advance()
+            if self.peek().is_punct("("):
+                self.advance()
+                args: List[ast.Expr] = []
+                if not self.peek().is_punct(")"):
+                    args.append(self.parse_expr())
+                    while self.accept_punct(","):
+                        args.append(self.parse_expr())
+                self.expect_punct(")")
+                return ast.Call(loc=tok.loc, callee=tok.text, args=args)
+            return ast.Name(loc=tok.loc, ident=tok.text)
+        if tok.is_punct("("):
+            self.advance()
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        raise ParseError(f"expected an expression, found {tok}", tok.loc)
+
+
+def parse(source: str, filename: str = "<source>") -> ast.Program:
+    """Parse mini-C *source* into a :class:`~repro.lang.ast_nodes.Program`."""
+    return _Parser(tokenize(source, filename)).parse_program()

@@ -1,0 +1,350 @@
+"""Semantic analysis: name resolution and type checking.
+
+``analyze`` walks the AST, builds the :class:`~repro.lang.symbols.SymbolTable`
+and annotates every expression node with its type (``node.ty``).  It enforces
+the mini-C rules:
+
+* every name is declared before use; no shadowing of functions by variables;
+* array accesses use exactly the declared rank, with integer indices;
+* ``%``, shifts, bitwise and logical operators take integers;
+* arrays are passed whole only as call arguments (no array assignment);
+* ``break``/``continue`` appear inside loops;
+* array initializers appear on global declarations only.
+
+The annotated AST plus symbol table is the contract consumed by the lowering
+stage.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.errors import SemanticError
+from repro.lang import ast_nodes as ast
+from repro.lang.symbols import (INTRINSICS, FuncSymbol, Scope, SymbolTable,
+                                VarSymbol)
+from repro.lang.types import (FLOAT, INT, VOID, ArrayType, Type, is_scalar,
+                              unify_arith)
+
+_INT_ONLY_BINOPS = {"%", "<<", ">>", "&", "|", "^"}
+_COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+_LOGICAL = {"&&", "||"}
+
+
+def _scalar_type(name: str) -> Type:
+    return {"int": INT, "float": FLOAT, "void": VOID}[name]
+
+
+class _Analyzer:
+    def __init__(self):
+        self.table = SymbolTable()
+        self.current_fn: Optional[FuncSymbol] = None
+        self.loop_depth = 0
+
+    # -- declarations -----------------------------------------------------------
+
+    def declare_var(self, decl: ast.Decl, scope: Scope,
+                    is_global: bool) -> VarSymbol:
+        base = _scalar_type(decl.base_type)
+        ty: Union[Type, ArrayType]
+        if decl.dims:
+            ty = ArrayType(base, decl.dims)
+        else:
+            ty = base
+        if decl.init is not None:
+            self._check_initializer(decl, ty, is_global)
+        return scope.declare(VarSymbol(decl.name, ty, is_global, decl.loc))
+
+    def _check_initializer(self, decl: ast.Decl, ty, is_global: bool) -> None:
+        if isinstance(decl.init, list):
+            if not isinstance(ty, ArrayType):
+                raise SemanticError(
+                    f"brace initializer on scalar {decl.name!r}", decl.loc)
+            if not is_global:
+                raise SemanticError(
+                    "array initializers are only supported on globals",
+                    decl.loc)
+            if ty.total_size is not None and len(decl.init) > ty.total_size:
+                raise SemanticError(
+                    f"too many initializer values for {decl.name!r}",
+                    decl.loc)
+            for item in decl.init:
+                item_ty = self.expr(item, Scope())  # literals only
+                if not is_scalar(item_ty):
+                    raise SemanticError("array initializer values must be "
+                                        "numeric literals", item.loc)
+        else:
+            if isinstance(ty, ArrayType):
+                raise SemanticError(
+                    f"array {decl.name!r} needs a brace initializer",
+                    decl.loc)
+            init_ty = self.expr(decl.init,
+                                Scope() if is_global else self._scope)
+            if not is_scalar(init_ty):
+                raise SemanticError("initializer must be numeric",
+                                    decl.init.loc)
+
+    # -- program ----------------------------------------------------------------
+
+    def program(self, prog: ast.Program) -> SymbolTable:
+        self._scope = self.table.globals
+        for decl in prog.globals:
+            self.declare_var(decl, self.table.globals, is_global=True)
+        # Two passes over functions so forward calls type-check.
+        for fn in prog.functions:
+            params: List[Union[Type, ArrayType]] = []
+            for p in fn.params:
+                base = _scalar_type(p.base_type)
+                params.append(ArrayType(base, p.dims) if p.dims else base)
+            self.table.declare_function(
+                FuncSymbol(fn.name, _scalar_type(fn.return_type), params,
+                           fn.loc))
+        for fn in prog.functions:
+            self.function(fn)
+        if "main" not in self.table.functions:
+            raise SemanticError("program has no main function", prog.loc)
+        main = self.table.functions["main"]
+        if main.param_types:
+            raise SemanticError("main must take no parameters", main.loc)
+        return self.table
+
+    def function(self, fn: ast.FuncDef) -> None:
+        self.current_fn = self.table.functions[fn.name]
+        scope = Scope(self.table.globals)
+        for p, ty in zip(fn.params, self.current_fn.param_types):
+            scope.declare(VarSymbol(p.name, ty, is_global=False, loc=p.loc))
+        self.block(fn.body, scope)
+        self.current_fn = None
+
+    # -- statements ------------------------------------------------------------
+
+    def block(self, block: ast.Block, parent: Scope) -> None:
+        scope = Scope(parent)
+        saved = self._scope
+        self._scope = scope
+        for item in block.items:
+            if isinstance(item, ast.Decl):
+                self.declare_var(item, scope, is_global=False)
+            else:
+                self.statement(item, scope)
+        self._scope = saved
+
+    def statement(self, stmt: ast.Stmt, scope: Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            self.block(stmt, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.Assign):
+            self.assign(stmt, scope)
+        elif isinstance(stmt, ast.If):
+            self._check_condition(stmt.cond, scope)
+            self.statement(stmt.then, scope)
+            if stmt.other is not None:
+                self.statement(stmt.other, scope)
+        elif isinstance(stmt, ast.While):
+            self._check_condition(stmt.cond, scope)
+            self.loop_depth += 1
+            self.statement(stmt.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            inner = Scope(scope)
+            if stmt.init is not None:
+                self.statement(stmt.init, inner)
+            if stmt.cond is not None:
+                self._check_condition(stmt.cond, inner)
+            if stmt.step is not None:
+                self.statement(stmt.step, inner)
+            self.loop_depth += 1
+            self.statement(stmt.body, inner)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.Return):
+            self._check_return(stmt, scope)
+        elif isinstance(stmt, ast.Break):
+            if self.loop_depth == 0:
+                raise SemanticError("break outside a loop", stmt.loc)
+        elif isinstance(stmt, ast.Continue):
+            if self.loop_depth == 0:
+                raise SemanticError("continue outside a loop", stmt.loc)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise SemanticError(f"unsupported statement {type(stmt).__name__}",
+                                stmt.loc)
+
+    def assign(self, stmt: ast.Assign, scope: Scope) -> None:
+        target_ty = self.expr(stmt.target, scope)
+        if not is_scalar(target_ty):
+            raise SemanticError("cannot assign to an array as a whole",
+                                stmt.loc)
+        value_ty = self.expr(stmt.value, scope)
+        if not is_scalar(value_ty):
+            raise SemanticError("assigned value must be numeric",
+                                stmt.value.loc)
+        if stmt.op != "=":
+            base_op = stmt.op[:-1]
+            if base_op in _INT_ONLY_BINOPS and (target_ty.is_float
+                                                or value_ty.is_float):
+                raise SemanticError(
+                    f"operator {base_op!r} requires integer operands",
+                    stmt.loc)
+
+    def _check_condition(self, cond: ast.Expr, scope: Scope) -> None:
+        ty = self.expr(cond, scope)
+        if not is_scalar(ty):
+            raise SemanticError("condition must be numeric", cond.loc)
+
+    def _check_return(self, stmt: ast.Return, scope: Scope) -> None:
+        expected = self.current_fn.return_type
+        if stmt.value is None:
+            if expected is not VOID:
+                raise SemanticError(
+                    f"{self.current_fn.name} must return a value", stmt.loc)
+            return
+        if expected is VOID:
+            raise SemanticError(
+                f"{self.current_fn.name} returns void", stmt.loc)
+        ty = self.expr(stmt.value, scope)
+        if not is_scalar(ty):
+            raise SemanticError("return value must be numeric",
+                                stmt.value.loc)
+
+    # -- expressions -----------------------------------------------------------
+
+    def expr(self, node: ast.Expr, scope: Scope):
+        ty = self._expr(node, scope)
+        node.ty = ty
+        return ty
+
+    def _expr(self, node: ast.Expr, scope: Scope):
+        if isinstance(node, ast.IntLit):
+            return INT
+        if isinstance(node, ast.FloatLit):
+            return FLOAT
+        if isinstance(node, ast.Name):
+            sym = scope.lookup(node.ident)
+            if sym is None:
+                raise SemanticError(f"undeclared variable {node.ident!r}",
+                                    node.loc)
+            return sym.ty
+        if isinstance(node, ast.Index):
+            return self._index(node, scope)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node, scope)
+        if isinstance(node, ast.UnOp):
+            return self._unop(node, scope)
+        if isinstance(node, ast.Cast):
+            operand_ty = self.expr(node.operand, scope)
+            if not is_scalar(operand_ty):
+                raise SemanticError("cast operand must be numeric", node.loc)
+            return _scalar_type(node.target)
+        if isinstance(node, ast.Call):
+            return self._call(node, scope)
+        if isinstance(node, ast.Cond):
+            self._check_condition(node.cond, scope)
+            then_ty = self.expr(node.then, scope)
+            other_ty = self.expr(node.other, scope)
+            if not (is_scalar(then_ty) and is_scalar(other_ty)):
+                raise SemanticError("ternary arms must be numeric", node.loc)
+            return unify_arith(then_ty, other_ty)
+        raise SemanticError(f"unsupported expression {type(node).__name__}",
+                            node.loc)  # pragma: no cover
+
+    def _index(self, node: ast.Index, scope: Scope):
+        sym = scope.lookup(node.base.ident)
+        if sym is None:
+            raise SemanticError(f"undeclared array {node.base.ident!r}",
+                                node.base.loc)
+        if not sym.is_array:
+            raise SemanticError(f"{node.base.ident!r} is not an array",
+                                node.base.loc)
+        node.base.ty = sym.ty
+        if len(node.indices) != sym.ty.rank:
+            raise SemanticError(
+                f"array {node.base.ident!r} has rank {sym.ty.rank}, "
+                f"indexed with {len(node.indices)} subscripts", node.loc)
+        for idx in node.indices:
+            idx_ty = self.expr(idx, scope)
+            if idx_ty is not INT:
+                raise SemanticError("array indices must be integers",
+                                    idx.loc)
+        return sym.ty.element
+
+    def _binop(self, node: ast.BinOp, scope: Scope):
+        lhs = self.expr(node.lhs, scope)
+        rhs = self.expr(node.rhs, scope)
+        if not (is_scalar(lhs) and is_scalar(rhs)):
+            raise SemanticError(f"operator {node.op!r} needs numeric "
+                                "operands", node.loc)
+        if node.op in _LOGICAL:
+            return INT
+        if node.op in _COMPARISONS:
+            return INT
+        if node.op in _INT_ONLY_BINOPS:
+            if lhs.is_float or rhs.is_float:
+                raise SemanticError(
+                    f"operator {node.op!r} requires integer operands",
+                    node.loc)
+            return INT
+        return unify_arith(lhs, rhs)
+
+    def _unop(self, node: ast.UnOp, scope: Scope):
+        ty = self.expr(node.operand, scope)
+        if not is_scalar(ty):
+            raise SemanticError(f"operator {node.op!r} needs a numeric "
+                                "operand", node.loc)
+        if node.op == "!":
+            return INT
+        if node.op == "~":
+            if ty.is_float:
+                raise SemanticError("operator '~' requires an integer",
+                                    node.loc)
+            return INT
+        return ty  # unary minus keeps the operand type
+
+    def _call(self, node: ast.Call, scope: Scope):
+        if node.callee in INTRINSICS:
+            param_types, ret = INTRINSICS[node.callee]
+            if len(node.args) != len(param_types):
+                raise SemanticError(
+                    f"intrinsic {node.callee!r} takes {len(param_types)} "
+                    f"argument(s)", node.loc)
+            for arg in node.args:
+                arg_ty = self.expr(arg, scope)
+                if not is_scalar(arg_ty):
+                    raise SemanticError("intrinsic arguments must be "
+                                        "numeric", arg.loc)
+            return ret
+        sym = self.table.lookup_function(node.callee)
+        if sym is None:
+            raise SemanticError(f"call to undeclared function "
+                                f"{node.callee!r}", node.loc)
+        if len(node.args) != len(sym.param_types):
+            raise SemanticError(
+                f"{node.callee!r} takes {len(sym.param_types)} argument(s), "
+                f"got {len(node.args)}", node.loc)
+        for arg, want in zip(node.args, sym.param_types):
+            got = self.expr(arg, scope)
+            if isinstance(want, ArrayType):
+                if not isinstance(got, ArrayType):
+                    raise SemanticError("expected an array argument",
+                                        arg.loc)
+                if got.element != want.element or got.rank != want.rank:
+                    raise SemanticError("array argument type mismatch",
+                                        arg.loc)
+                fixed = [w for w in want.dims if w is not None]
+                got_fixed = [g for g, w in zip(got.dims, want.dims)
+                             if w is not None]
+                if fixed != got_fixed:
+                    raise SemanticError("array argument extent mismatch",
+                                        arg.loc)
+            else:
+                if not is_scalar(got):
+                    raise SemanticError("expected a scalar argument",
+                                        arg.loc)
+        return sym.return_type
+
+
+def analyze(program: ast.Program) -> SymbolTable:
+    """Type-check *program* and return its symbol table.
+
+    Expression nodes are annotated in place with ``node.ty``.
+    """
+    return _Analyzer().program(program)

@@ -1,0 +1,89 @@
+"""Symbol tables for semantic analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.errors import SemanticError, SourceLocation
+from repro.lang.types import FLOAT, INT, VOID, ArrayType, Type
+
+# Math intrinsics available to benchmark programs.  They lower to opaque
+# INTRIN instructions executed natively by the simulator; they never take
+# part in chainable sequences (matching the paper, whose sequence vocabulary
+# contains no transcendental units).
+INTRINSICS: Dict[str, tuple] = {
+    "sin": ((FLOAT,), FLOAT),
+    "cos": ((FLOAT,), FLOAT),
+    "sqrt": ((FLOAT,), FLOAT),
+    "fabs": ((FLOAT,), FLOAT),
+    "exp": ((FLOAT,), FLOAT),
+    "log": ((FLOAT,), FLOAT),
+    "atan2": ((FLOAT, FLOAT), FLOAT),
+    "pow": ((FLOAT, FLOAT), FLOAT),
+    "abs": ((INT,), INT),
+}
+
+
+@dataclass
+class VarSymbol:
+    """A declared scalar or array variable."""
+
+    name: str
+    ty: Union[Type, ArrayType]
+    is_global: bool
+    loc: Optional[SourceLocation] = None
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self.ty, ArrayType)
+
+
+@dataclass
+class FuncSymbol:
+    """A user-defined function signature."""
+
+    name: str
+    return_type: Type
+    param_types: List[Union[Type, ArrayType]]
+    loc: Optional[SourceLocation] = None
+
+
+class Scope:
+    """One lexical scope; lookups chain to the parent."""
+
+    def __init__(self, parent: Optional["Scope"] = None):
+        self.parent = parent
+        self._vars: Dict[str, VarSymbol] = {}
+
+    def declare(self, sym: VarSymbol) -> VarSymbol:
+        if sym.name in self._vars:
+            raise SemanticError(f"redeclaration of {sym.name!r}", sym.loc)
+        self._vars[sym.name] = sym
+        return sym
+
+    def lookup(self, name: str) -> Optional[VarSymbol]:
+        scope: Optional[Scope] = self
+        while scope is not None:
+            if name in scope._vars:
+                return scope._vars[name]
+            scope = scope.parent
+        return None
+
+
+class SymbolTable:
+    """Program-wide symbols: functions plus a global variable scope."""
+
+    def __init__(self):
+        self.globals = Scope()
+        self.functions: Dict[str, FuncSymbol] = {}
+
+    def declare_function(self, sym: FuncSymbol) -> FuncSymbol:
+        if sym.name in self.functions or sym.name in INTRINSICS:
+            raise SemanticError(f"redefinition of function {sym.name!r}",
+                                sym.loc)
+        self.functions[sym.name] = sym
+        return sym
+
+    def lookup_function(self, name: str) -> Optional[FuncSymbol]:
+        return self.functions.get(name)

@@ -1,0 +1,51 @@
+"""Token definitions for the mini-C lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SourceLocation
+
+
+class TokenKind(enum.Enum):
+    IDENT = "identifier"
+    INT = "int literal"
+    FLOAT = "float literal"
+    KEYWORD = "keyword"
+    PUNCT = "punctuator"
+    EOF = "end of input"
+
+
+KEYWORDS = frozenset({
+    "int", "float", "void", "if", "else", "while", "for", "return",
+    "break", "continue",
+})
+
+# Multi-character punctuators must be listed longest-first so the lexer
+# prefers '<<=' over '<<' over '<'.
+PUNCTUATORS = (
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";", "?", ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    loc: SourceLocation
+
+    def __str__(self) -> str:
+        if self.kind is TokenKind.EOF:
+            return "<eof>"
+        return self.text
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind is TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == text

@@ -1,0 +1,79 @@
+"""The mini-C type system: ``int``, ``float``, ``void`` and array types.
+
+Arrays are fixed-size, one- or two-dimensional, of scalar element type.
+The usual C arithmetic conversion applies: mixing ``int`` and ``float`` in a
+binary operation promotes to ``float``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Type:
+    """A scalar or void type."""
+
+    name: str  # "int" | "float" | "void"
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def is_float(self) -> bool:
+        return self.name == "float"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.name in ("int", "float")
+
+
+INT = Type("int")
+FLOAT = Type("float")
+VOID = Type("void")
+
+
+@dataclass(frozen=True)
+class ArrayType:
+    """A fixed-size array of a scalar element type.
+
+    ``dims`` holds one or two extents.  An extent of ``None`` is allowed only
+    for the first dimension of an array *parameter* (C's ``float x[]``),
+    whose size comes from the argument bound at the call.
+    """
+
+    element: Type
+    dims: Tuple[Optional[int], ...]
+
+    def __str__(self) -> str:
+        suffix = "".join(f"[{d if d is not None else ''}]" for d in self.dims)
+        return f"{self.element}{suffix}"
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def total_size(self) -> Optional[int]:
+        total = 1
+        for d in self.dims:
+            if d is None:
+                return None
+            total *= d
+        return total
+
+    @property
+    def is_float(self) -> bool:
+        return self.element.is_float
+
+
+def unify_arith(a: Type, b: Type) -> Type:
+    """C arithmetic conversion for a binary operator."""
+    if a.is_float or b.is_float:
+        return FLOAT
+    return INT
+
+
+def is_scalar(ty) -> bool:
+    return isinstance(ty, Type) and ty.is_numeric

@@ -1,0 +1,625 @@
+"""Lower an analyzed mini-C AST into a three-address :class:`Module`.
+
+Conventions
+-----------
+* Local scalar variables live in virtual registers named after the variable
+  (with a ``.N`` suffix when shadowed).
+* Global scalars are one-element arrays — memory, like a C compiler would
+  place them — so cross-function reads/writes are correct.
+* 2-D arrays are flattened row-major; the index arithmetic is emitted as
+  explicit ``mul``/``shl``/``add`` operations.  Multiplications by small
+  constants are strength-reduced to shift/add combinations, which is what a
+  production embedded compiler does and what exposes the paper's
+  ``add-shift-add`` address sequences in the image benchmarks.
+* Short-circuit ``&&``/``||``, ternaries and comparisons-as-values
+  materialize 0/1 through branch diamonds, exactly like a real front end.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import LoweringError
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instr import Instruction
+from repro.ir.module import Module
+from repro.ir.ops import FLOAT_BINARY, INT_BINARY, Op
+from repro.ir.values import ArraySymbol, Constant, VirtualReg
+from repro.lang import ast_nodes as ast
+from repro.lang.symbols import INTRINSICS, SymbolTable
+from repro.lang.types import FLOAT, INT, ArrayType, Type
+
+_COMPARISONS = {"==", "!=", "<", "<=", ">", ">="}
+
+# Strength reduction: only exact powers of two become shifts (``x * 8`` →
+# ``x << 3``).  Multi-term decompositions (24 = 16 + 8) are deliberately
+# NOT applied: a mid-90s DSP front end keeps such constants on the
+# multiplier, and those multiplies are precisely what makes the paper's
+# multiply-add / load-multiply-add sequences appear in integer benchmarks
+# (row-stride address arithmetic, small coefficient taps).
+_MAX_SHIFT_TERMS = 1
+
+
+def _shift_add_plan(value: int) -> Optional[List[Tuple[str, int]]]:
+    """Decompose *value* into power-of-two terms, or None.
+
+    Returns a list of ("+"/"-", shift_amount) pairs, most significant
+    first.  With ``_MAX_SHIFT_TERMS = 1`` only single powers of two
+    qualify; the multi-term machinery is kept (and unit-tested) because the
+    ablation benchmarks re-enable it to measure its effect on sequence
+    detection.
+    """
+    if value <= 0:
+        return None
+    bits = [i for i in range(value.bit_length()) if value >> i & 1]
+    if len(bits) <= _MAX_SHIFT_TERMS:
+        return [("+", b) for b in reversed(bits)]
+    if _MAX_SHIFT_TERMS < 2:
+        return None
+    # Try 2^k - 2^j (e.g. 7 = 8 - 1, 12 = 16 - 4).
+    for k in range(value.bit_length(), value.bit_length() + 2):
+        rest = (1 << k) - value
+        if rest > 0 and rest & (rest - 1) == 0:
+            return [("+", k), ("-", rest.bit_length() - 1)]
+    return None
+
+
+@contextlib.contextmanager
+def strength_reduction_terms(max_terms: int):
+    """Temporarily change how aggressively multiplies become shift/adds.
+
+    ``1`` (the default) reduces powers of two only; ``2`` additionally
+    rewrites two-term constants (24 = 16 + 8, 7 = 8 - 1).  Used by the
+    ablation benchmark to measure the front end's effect on detection.
+    """
+    global _MAX_SHIFT_TERMS
+    saved = _MAX_SHIFT_TERMS
+    _MAX_SHIFT_TERMS = max_terms
+    try:
+        yield
+    finally:
+        _MAX_SHIFT_TERMS = saved
+
+
+class _Bindings:
+    """Scoped mapping from variable names to registers / array symbols."""
+
+    def __init__(self, parent: Optional["_Bindings"] = None):
+        self.parent = parent
+        self._map: Dict[str, Union[VirtualReg, ArraySymbol]] = {}
+
+    def child(self) -> "_Bindings":
+        return _Bindings(self)
+
+    def bind(self, name: str, target) -> None:
+        self._map[name] = target
+
+    def lookup(self, name: str):
+        scope: Optional[_Bindings] = self
+        while scope is not None:
+            if name in scope._map:
+                return scope._map[name]
+            scope = scope.parent
+        return None
+
+
+class _FunctionLowerer:
+    """Lower one function definition."""
+
+    def __init__(self, module: Module, table: SymbolTable,
+                 global_bindings: _Bindings, fn_ast: ast.FuncDef):
+        self.module = module
+        self.table = table
+        self.fn_ast = fn_ast
+        sym = table.functions[fn_ast.name]
+        params: List[Union[VirtualReg, ArraySymbol]] = []
+        self._used_names: Dict[str, int] = {}
+        self.bindings = global_bindings.child()
+        for p, ty in zip(fn_ast.params, sym.param_types):
+            if isinstance(ty, ArrayType):
+                size = ty.total_size if ty.total_size is not None else 0
+                arr = ArraySymbol(p.name, size, ty.is_float, is_global=False)
+                params.append(arr)
+                self.bindings.bind(p.name, arr)
+            else:
+                reg = VirtualReg(p.name, ty.is_float)
+                params.append(reg)
+                self.bindings.bind(p.name, reg)
+                self._used_names[p.name] = 1
+        self.function = Function(fn_ast.name, params, sym.return_type.name)
+        self.b = IRBuilder(self.function)
+        self._break_labels: List[str] = []
+        self._continue_labels: List[str] = []
+        # Row strides of 2-D arrays, keyed by array symbol name.
+        self._row_strides: Dict[str, int] = {}
+
+    # -- naming ------------------------------------------------------------------
+
+    def _var_reg(self, name: str, is_float: bool) -> VirtualReg:
+        count = self._used_names.get(name, 0)
+        self._used_names[name] = count + 1
+        reg_name = name if count == 0 else f"{name}.{count}"
+        return VirtualReg(reg_name, is_float)
+
+    # -- entry -------------------------------------------------------------------
+
+    def lower(self) -> Function:
+        self.block(self.fn_ast.body, self.bindings)
+        # Guarantee the function ends in control flow.
+        body = self.function.body
+        if not body or not (isinstance(body[-1], Instruction)
+                            and body[-1].is_control):
+            if self.function.return_type == "void":
+                self.b.ret()
+            elif self.function.return_type == "float":
+                self.b.ret(Constant(0.0, True), is_float=True)
+            else:
+                self.b.ret(Constant(0, False))
+        return self.function
+
+    # -- declarations ------------------------------------------------------------
+
+    def local_decl(self, decl: ast.Decl, bindings: _Bindings) -> None:
+        base_float = decl.base_type == "float"
+        if decl.dims:
+            total = 1
+            for d in decl.dims:
+                total *= d
+            name = decl.name
+            if self.function.find_array(name) is not None:
+                name = f"{name}.{self._used_names.get(name, 1)}"
+                self._used_names[decl.name] = \
+                    self._used_names.get(decl.name, 1) + 1
+            arr = ArraySymbol(name, total, base_float, is_global=False)
+            if len(decl.dims) == 2:
+                self._row_strides[arr.name] = decl.dims[1]
+            self.function.local_arrays.append(arr)
+            bindings.bind(decl.name, arr)
+            return
+        reg = self._var_reg(decl.name, base_float)
+        bindings.bind(decl.name, reg)
+        if decl.init is not None:
+            value = self.expr(decl.init, bindings)
+            value = self._convert(value, decl.init.ty.is_float, base_float)
+            self.b.move(value, dest=reg, is_float=base_float)
+        else:
+            # Define the register so later reads are never undefined.
+            zero = Constant(0.0, True) if base_float else Constant(0, False)
+            self.b.move(zero, dest=reg, is_float=base_float)
+
+    # -- statements ----------------------------------------------------------------
+
+    def block(self, block: ast.Block, bindings: _Bindings) -> None:
+        inner = bindings.child()
+        for item in block.items:
+            if isinstance(item, ast.Decl):
+                self.local_decl(item, inner)
+            else:
+                self.statement(item, inner)
+
+    def statement(self, stmt: ast.Stmt, bindings: _Bindings) -> None:
+        if isinstance(stmt, ast.Block):
+            self.block(stmt, bindings)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.expr(stmt.expr, bindings)
+        elif isinstance(stmt, ast.Assign):
+            self.assign(stmt, bindings)
+        elif isinstance(stmt, ast.If):
+            self.if_stmt(stmt, bindings)
+        elif isinstance(stmt, ast.While):
+            self.while_stmt(stmt, bindings)
+        elif isinstance(stmt, ast.For):
+            self.for_stmt(stmt, bindings)
+        elif isinstance(stmt, ast.Return):
+            self.return_stmt(stmt, bindings)
+        elif isinstance(stmt, ast.Break):
+            if not self._break_labels:
+                raise LoweringError("break outside a loop")
+            self.b.jump(self._break_labels[-1])
+        elif isinstance(stmt, ast.Continue):
+            if not self._continue_labels:
+                raise LoweringError("continue outside a loop")
+            self.b.jump(self._continue_labels[-1])
+        else:  # pragma: no cover
+            raise LoweringError(f"unsupported statement {type(stmt).__name__}")
+
+    def assign(self, stmt: ast.Assign, bindings: _Bindings) -> None:
+        target = stmt.target
+        target_float = target.ty.is_float
+        if isinstance(target, ast.Name):
+            binding = bindings.lookup(target.ident)
+            if isinstance(binding, ArraySymbol):
+                if binding.size != 1:
+                    raise LoweringError("cannot assign to a whole array")
+                # Global scalar: read-modify-write through memory.
+                value = self._assign_value(stmt, bindings,
+                                           lambda: self.b.load(binding, 0))
+                self.b.store(binding, 0, value)
+                return
+            value = self._assign_value(
+                stmt, bindings, lambda: binding)
+            self.b.move(value, dest=binding, is_float=target_float)
+            return
+        if isinstance(target, ast.Index):
+            arr, index = self._array_access(target, bindings)
+            value = self._assign_value(
+                stmt, bindings, lambda: self.b.load(arr, index))
+            self.b.store(arr, index, value)
+            return
+        raise LoweringError("unsupported assignment target")
+
+    def _assign_value(self, stmt: ast.Assign, bindings: _Bindings,
+                      read_current):
+        """Compute the RHS of an assignment, handling compound operators."""
+        target_float = stmt.target.ty.is_float
+        rhs = self.expr(stmt.value, bindings)
+        rhs_float = stmt.value.ty.is_float
+        if stmt.op == "=":
+            return self._convert(rhs, rhs_float, target_float)
+        base_op = stmt.op[:-1]
+        current = read_current()
+        if target_float or rhs_float:
+            current = self._convert(current, target_float, True)
+            rhs = self._convert(rhs, rhs_float, True)
+            result = self.b.binary(FLOAT_BINARY[base_op], current, rhs)
+            return self._convert(result, True, target_float)
+        result = self.b.binary(INT_BINARY[base_op], current, rhs)
+        return result
+
+    def if_stmt(self, stmt: ast.If, bindings: _Bindings) -> None:
+        then_label = self.b.label("then")
+        end_label = self.b.label("endif")
+        else_label = self.b.label("else") if stmt.other else end_label
+        self.condition(stmt.cond, bindings, then_label, else_label)
+        self.b.place(then_label)
+        self.statement(stmt.then, bindings)
+        if stmt.other is not None:
+            self.b.jump(end_label)
+            self.b.place(else_label)
+            self.statement(stmt.other, bindings)
+        self.b.place(end_label)
+
+    def while_stmt(self, stmt: ast.While, bindings: _Bindings) -> None:
+        head = self.b.label("while")
+        body = self.b.label("body")
+        exit_label = self.b.label("endwhile")
+        self.b.place(head)
+        self.condition(stmt.cond, bindings, body, exit_label)
+        self.b.place(body)
+        self._break_labels.append(exit_label)
+        self._continue_labels.append(head)
+        self.statement(stmt.body, bindings)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+        self.b.jump(head)
+        self.b.place(exit_label)
+
+    def for_stmt(self, stmt: ast.For, bindings: _Bindings) -> None:
+        inner = bindings.child()
+        if stmt.init is not None:
+            self.statement(stmt.init, inner)
+        head = self.b.label("for")
+        body = self.b.label("body")
+        step_label = self.b.label("step")
+        exit_label = self.b.label("endfor")
+        self.b.place(head)
+        if stmt.cond is not None:
+            self.condition(stmt.cond, inner, body, exit_label)
+        self.b.place(body)
+        self._break_labels.append(exit_label)
+        self._continue_labels.append(step_label)
+        self.statement(stmt.body, inner)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+        self.b.place(step_label)
+        if stmt.step is not None:
+            self.statement(stmt.step, inner)
+        self.b.jump(head)
+        self.b.place(exit_label)
+
+    def return_stmt(self, stmt: ast.Return, bindings: _Bindings) -> None:
+        if stmt.value is None:
+            self.b.ret()
+            return
+        want_float = self.function.return_type == "float"
+        value = self.expr(stmt.value, bindings)
+        value = self._convert(value, stmt.value.ty.is_float, want_float)
+        self.b.ret(value, is_float=want_float)
+
+    # -- conditions ---------------------------------------------------------------
+
+    def condition(self, cond: ast.Expr, bindings: _Bindings,
+                  true_label: str, false_label: str) -> None:
+        """Lower *cond* as control flow into the two labels."""
+        if isinstance(cond, ast.BinOp) and cond.op == "&&":
+            mid = self.b.label("and")
+            self.condition(cond.lhs, bindings, mid, false_label)
+            self.b.place(mid)
+            self.condition(cond.rhs, bindings, true_label, false_label)
+            return
+        if isinstance(cond, ast.BinOp) and cond.op == "||":
+            mid = self.b.label("or")
+            self.condition(cond.lhs, bindings, true_label, mid)
+            self.b.place(mid)
+            self.condition(cond.rhs, bindings, true_label, false_label)
+            return
+        if isinstance(cond, ast.UnOp) and cond.op == "!":
+            self.condition(cond.operand, bindings, false_label, true_label)
+            return
+        if isinstance(cond, ast.BinOp) and cond.op in _COMPARISONS:
+            flag = self._comparison(cond, bindings)
+            self.b.branch(flag, true_label, false_label)
+            return
+        value = self.expr(cond, bindings)
+        if cond.ty.is_float:
+            flag = self.b.binary(Op.FCMPNE, value, Constant(0.0, True))
+        else:
+            flag = self.b.binary(Op.CMPNE, value, Constant(0, False))
+        self.b.branch(flag, true_label, false_label)
+
+    def _comparison(self, cond: ast.BinOp, bindings: _Bindings) -> VirtualReg:
+        lhs = self.expr(cond.lhs, bindings)
+        rhs = self.expr(cond.rhs, bindings)
+        use_float = cond.lhs.ty.is_float or cond.rhs.ty.is_float
+        lhs = self._convert(lhs, cond.lhs.ty.is_float, use_float)
+        rhs = self._convert(rhs, cond.rhs.ty.is_float, use_float)
+        table = FLOAT_BINARY if use_float else INT_BINARY
+        return self.b.binary(table[cond.op], lhs, rhs)
+
+    # -- expressions ----------------------------------------------------------------
+
+    def expr(self, node: ast.Expr, bindings: _Bindings):
+        """Lower an expression; returns a register or constant operand."""
+        if isinstance(node, ast.IntLit):
+            return Constant(node.value, False)
+        if isinstance(node, ast.FloatLit):
+            return Constant(node.value, True)
+        if isinstance(node, ast.Name):
+            binding = bindings.lookup(node.ident)
+            if binding is None:
+                raise LoweringError(f"unbound name {node.ident!r}")
+            if isinstance(binding, ArraySymbol):
+                if isinstance(node.ty, ArrayType):
+                    return binding  # whole-array reference (call argument)
+                return self.b.load(binding, 0)  # global scalar
+            return binding
+        if isinstance(node, ast.Index):
+            arr, index = self._array_access(node, bindings)
+            return self.b.load(arr, index)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node, bindings)
+        if isinstance(node, ast.UnOp):
+            return self._unop(node, bindings)
+        if isinstance(node, ast.Cast):
+            value = self.expr(node.operand, bindings)
+            return self._convert(value, node.operand.ty.is_float,
+                                 node.target == "float")
+        if isinstance(node, ast.Call):
+            return self._call(node, bindings)
+        if isinstance(node, ast.Cond):
+            return self._ternary(node, bindings)
+        raise LoweringError(
+            f"unsupported expression {type(node).__name__}")  # pragma: no cover
+
+    def _binop(self, node: ast.BinOp, bindings: _Bindings):
+        if node.op in ("&&", "||"):
+            return self._logical_value(node, bindings)
+        if node.op in _COMPARISONS:
+            return self._comparison(node, bindings)
+        lhs = self.expr(node.lhs, bindings)
+        rhs = self.expr(node.rhs, bindings)
+        use_float = node.ty.is_float
+        if use_float:
+            lhs = self._convert(lhs, node.lhs.ty.is_float, True)
+            rhs = self._convert(rhs, node.rhs.ty.is_float, True)
+            return self.b.binary(FLOAT_BINARY[node.op], lhs, rhs)
+        if node.op == "*":
+            reduced = self._try_strength_reduce(lhs, rhs)
+            if reduced is not None:
+                return reduced
+        return self.b.binary(INT_BINARY[node.op], lhs, rhs)
+
+    def _try_strength_reduce(self, lhs, rhs):
+        """Rewrite ``x * C`` as shifts and adds when C is shift-friendly."""
+        const, reg = None, None
+        if isinstance(rhs, Constant) and not rhs.is_float:
+            const, reg = rhs.value, lhs
+        elif isinstance(lhs, Constant) and not lhs.is_float:
+            const, reg = lhs.value, rhs
+        if const is None or isinstance(reg, Constant):
+            return None
+        if const == 0:
+            return Constant(0, False)
+        if const == 1:
+            return reg
+        plan = _shift_add_plan(const)
+        if plan is None:
+            return None
+        acc = None
+        for sign, shift in plan:
+            term = reg if shift == 0 else \
+                self.b.binary(Op.SHL, reg, Constant(shift, False))
+            if acc is None:
+                acc = term if sign == "+" else self.b.unary(Op.NEG, term)
+            elif sign == "+":
+                acc = self.b.binary(Op.ADD, acc, term)
+            else:
+                acc = self.b.binary(Op.SUB, acc, term)
+        return acc
+
+    def _logical_value(self, node: ast.BinOp, bindings: _Bindings):
+        """Materialize ``a && b`` / ``a || b`` as 0/1 through branches."""
+        result = self.b.temp(False)
+        true_label = self.b.label("ltrue")
+        false_label = self.b.label("lfalse")
+        end_label = self.b.label("lend")
+        self.condition(node, bindings, true_label, false_label)
+        self.b.place(true_label)
+        self.b.move(Constant(1, False), dest=result)
+        self.b.jump(end_label)
+        self.b.place(false_label)
+        self.b.move(Constant(0, False), dest=result)
+        self.b.place(end_label)
+        return result
+
+    def _ternary(self, node: ast.Cond, bindings: _Bindings):
+        is_float = node.ty.is_float
+        result = self.b.temp(is_float)
+        then_label = self.b.label("tthen")
+        else_label = self.b.label("telse")
+        end_label = self.b.label("tend")
+        self.condition(node.cond, bindings, then_label, else_label)
+        self.b.place(then_label)
+        value = self.expr(node.then, bindings)
+        value = self._convert(value, node.then.ty.is_float, is_float)
+        self.b.move(value, dest=result, is_float=is_float)
+        self.b.jump(end_label)
+        self.b.place(else_label)
+        value = self.expr(node.other, bindings)
+        value = self._convert(value, node.other.ty.is_float, is_float)
+        self.b.move(value, dest=result, is_float=is_float)
+        self.b.place(end_label)
+        return result
+
+    def _unop(self, node: ast.UnOp, bindings: _Bindings):
+        value = self.expr(node.operand, bindings)
+        if node.op == "-":
+            if node.ty.is_float:
+                value = self._convert(value, node.operand.ty.is_float, True)
+                return self.b.unary(Op.FNEG, value)
+            return self.b.unary(Op.NEG, value)
+        if node.op == "~":
+            return self.b.unary(Op.NOT, value)
+        if node.op == "!":
+            if node.operand.ty.is_float:
+                return self.b.binary(Op.FCMPEQ, value, Constant(0.0, True))
+            return self.b.binary(Op.CMPEQ, value, Constant(0, False))
+        raise LoweringError(f"unsupported unary {node.op!r}")
+
+    def _call(self, node: ast.Call, bindings: _Bindings):
+        if node.callee in INTRINSICS:
+            param_types, ret = INTRINSICS[node.callee]
+            args = []
+            for arg, want in zip(node.args, param_types):
+                value = self.expr(arg, bindings)
+                value = self._convert(value, arg.ty.is_float, want.is_float)
+                args.append(value)
+            dest = self.b.temp(ret.is_float)
+            self.b.emit(Instruction(Op.INTRIN, dest=dest, srcs=args,
+                                    callee=node.callee))
+            return dest
+        sym = self.table.functions[node.callee]
+        args = []
+        for arg, want in zip(node.args, sym.param_types):
+            value = self.expr(arg, bindings)
+            if isinstance(want, ArrayType):
+                if not isinstance(value, ArraySymbol):
+                    raise LoweringError("array argument did not lower to an "
+                                        "array symbol")
+                args.append(value)
+            else:
+                args.append(self._convert(value, arg.ty.is_float,
+                                          want.is_float))
+        if sym.return_type.name == "void":
+            self.b.emit(Instruction(Op.CALL, srcs=args, callee=node.callee))
+            return Constant(0, False)
+        dest = self.b.temp(sym.return_type.is_float)
+        self.b.emit(Instruction(Op.CALL, dest=dest, srcs=args,
+                                callee=node.callee))
+        return dest
+
+    # -- memory -------------------------------------------------------------------
+
+    def _array_access(self, node: ast.Index, bindings: _Bindings):
+        """Compute (array symbol, flat index operand) for an Index node."""
+        binding = bindings.lookup(node.base.ident)
+        if not isinstance(binding, ArraySymbol):
+            raise LoweringError(f"{node.base.ident!r} is not an array")
+        arr_ty = node.base.ty
+        if len(node.indices) == 1:
+            index = self.expr(node.indices[0], bindings)
+            return binding, index
+        # Row-major flattening: i * ncols + j.
+        ncols = arr_ty.dims[1]
+        i = self.expr(node.indices[0], bindings)
+        j = self.expr(node.indices[1], bindings)
+        if isinstance(i, Constant):
+            row = Constant(i.value * ncols, False)
+        else:
+            row = self._try_strength_reduce(i, Constant(ncols, False))
+            if row is None:
+                row = self.b.binary(Op.MUL, i, Constant(ncols, False))
+        if isinstance(row, Constant) and isinstance(j, Constant):
+            return binding, Constant(row.value + j.value, False)
+        flat = self.b.binary(Op.ADD, row, j)
+        return binding, flat
+
+    # -- conversions ----------------------------------------------------------------
+
+    def _convert(self, value, is_float: bool, want_float: bool):
+        """Insert ``itof``/``ftoi`` when *value* has the wrong class."""
+        if is_float == want_float:
+            return value
+        if isinstance(value, Constant):
+            return Constant(float(value.value) if want_float
+                            else int(value.value), want_float)
+        return self.b.convert(value, want_float)
+
+
+def lower_program(program: ast.Program, table: SymbolTable,
+                  name: str = "<module>") -> Module:
+    """Lower an analyzed *program* into a :class:`Module`."""
+    module = Module(name)
+    global_bindings = _Bindings()
+    for decl in program.globals:
+        is_float = decl.base_type == "float"
+        if decl.dims:
+            total = 1
+            for d in decl.dims:
+                total *= d
+            sym = ArraySymbol(decl.name, total, is_float, is_global=True)
+            init = None
+            if isinstance(decl.init, list):
+                values = []
+                for item in decl.init:
+                    if isinstance(item, ast.IntLit):
+                        values.append(float(item.value) if is_float
+                                      else item.value)
+                    elif isinstance(item, ast.FloatLit):
+                        values.append(item.value)
+                    elif (isinstance(item, ast.UnOp) and item.op == "-"
+                          and isinstance(item.operand,
+                                         (ast.IntLit, ast.FloatLit))):
+                        values.append(-item.operand.value)
+                    else:
+                        raise LoweringError(
+                            "global array initializers must be literals")
+                init = values
+            module.add_global_array(sym, init)
+            global_bindings.bind(decl.name, sym)
+        else:
+            # Global scalar: one-element array in memory.
+            sym = ArraySymbol(decl.name, 1, is_float, is_global=True)
+            value = 0.0
+            if decl.init is not None:
+                if isinstance(decl.init, ast.IntLit):
+                    value = decl.init.value
+                elif isinstance(decl.init, ast.FloatLit):
+                    value = decl.init.value
+                elif (isinstance(decl.init, ast.UnOp) and decl.init.op == "-"
+                      and isinstance(decl.init.operand,
+                                     (ast.IntLit, ast.FloatLit))):
+                    value = -decl.init.operand.value
+                else:
+                    raise LoweringError(
+                        "global scalar initializers must be literals")
+            module.add_global_array(sym, [value])
+            module.add_global_scalar(decl.name, is_float, value)
+            global_bindings.bind(decl.name, sym)
+
+    for fn_ast in program.functions:
+        lowerer = _FunctionLowerer(module, table, global_bindings, fn_ast)
+        module.add_function(lowerer.lower())
+    return module

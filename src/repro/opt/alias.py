@@ -1,0 +1,40 @@
+"""Conservative may-alias rules for array references.
+
+The machine has named arrays only — no pointers — so aliasing is nearly
+syntactic.  The one wrinkle is array *parameters*: inside a callee an array
+parameter may be bound to any caller array of the same element type, so a
+parameter conservatively aliases everything of its element type.
+"""
+
+from __future__ import annotations
+
+from repro.ir.values import ArraySymbol
+
+
+def may_alias(a: ArraySymbol, b: ArraySymbol) -> bool:
+    """True when accesses to *a* and *b* may touch the same storage."""
+    if a.name == b.name:
+        return True
+    if a.is_float != b.is_float:
+        return False
+    # A non-global symbol is either a function-local array (distinct
+    # storage, distinct name) or an array parameter (unknown binding).
+    # Locals are instantiated per call and can never overlap anything
+    # else, but we cannot tell locals from parameters by the symbol
+    # alone, so treat every non-global as a potential parameter.
+    if not a.is_global or not b.is_global:
+        return True
+    return False
+
+
+def memory_conflict(op_a, op_b) -> bool:
+    """True when two memory operations must keep their relative order.
+
+    Load/load pairs never conflict; anything involving a store conflicts
+    when the arrays may alias.
+    """
+    if op_a.array is None or op_b.array is None:
+        return False
+    if not (op_a.is_store or op_b.is_store):
+        return False
+    return may_alias(op_a.array, op_b.array)

@@ -1,0 +1,139 @@
+"""Loop-invariant code motion.
+
+Hoists loop-invariant pure operations — and loads with constant indices
+from arrays no store in the loop may alias — into a freshly created loop
+preheader.  The pass is deliberately conservative:
+
+* only single-static-definition registers are hoisted (so executing the
+  definition earlier can never clobber a value another path needs);
+* trapping operations (divides, intrinsics) stay put, except constant-index
+  loads that are provably in bounds — the common "global scalar read in the
+  loop condition" pattern that would otherwise dominate every profile;
+* loops containing calls keep their loads (a callee may store anywhere).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.cfg.graph import Node, ProgramGraph
+from repro.cfg.loops import NaturalLoop, find_natural_loops
+from repro.ir.instr import Instruction
+from repro.ir.ops import Op, OpKind, kind
+from repro.ir.values import Constant, VirtualReg
+from repro.opt.alias import may_alias
+
+_PURE_KINDS = {OpKind.INT_ARITH, OpKind.FLOAT_ARITH, OpKind.COMPARE,
+               OpKind.CONVERT, OpKind.DATA}
+_TRAPPING_PURE = {Op.DIV, Op.MOD, Op.FDIV}
+
+
+def hoist_loop_invariants(graph: ProgramGraph,
+                          max_rounds: int = 10) -> int:
+    """Hoist invariants out of every natural loop; returns ops hoisted."""
+    total = 0
+    for _ in range(max_rounds):
+        loops = find_natural_loops(graph)
+        hoisted = 0
+        for loop in loops:
+            if not loop.is_innermost(loops):
+                continue
+            hoisted += _hoist_one_loop(graph, loop)
+        total += hoisted
+        if hoisted == 0:
+            break
+    return total
+
+
+def _hoist_one_loop(graph: ProgramGraph, loop: NaturalLoop) -> int:
+    body_defs: Dict[str, int] = {}
+    loop_has_call = False
+    loop_stores = []
+    for nid in loop.body:
+        node = graph.nodes[nid]
+        for ins in node.ops:
+            if ins.op is Op.CALL:
+                loop_has_call = True
+            if ins.is_store:
+                loop_stores.append(ins)
+            for d in ins.defs():
+                body_defs[d.name] = body_defs.get(d.name, 0) + 1
+
+    global_def_counts: Dict[str, int] = {}
+    for node in graph.nodes.values():
+        for ins in node.ops:
+            for d in ins.defs():
+                global_def_counts[d.name] = \
+                    global_def_counts.get(d.name, 0) + 1
+
+    candidates: List[Instruction] = []
+    owner: Dict[int, int] = {}  # instruction uid -> node id
+
+    def invariant_operands(ins: Instruction) -> bool:
+        for s in ins.srcs:
+            if isinstance(s, VirtualReg) and s.name in body_defs:
+                return False
+        return True
+
+    for nid in sorted(loop.body):
+        node = graph.nodes[nid]
+        for ins in node.ops:
+            if ins.dest is None:
+                continue
+            if global_def_counts.get(ins.dest.name, 0) != 1:
+                continue
+            if not invariant_operands(ins):
+                continue
+            if ins.is_load:
+                if loop_has_call:
+                    continue
+                if not isinstance(ins.srcs[0], Constant):
+                    continue
+                if ins.srcs[0].value >= ins.array.size:
+                    continue
+                if any(may_alias(ins.array, st.array)
+                       for st in loop_stores):
+                    continue
+            elif kind(ins.op) in _PURE_KINDS:
+                if ins.op in _TRAPPING_PURE:
+                    continue
+            else:
+                continue
+            candidates.append(ins)
+            owner[ins.uid] = nid
+
+    if not candidates:
+        return 0
+
+    preheader = _get_preheader(graph, loop)
+    for ins in candidates:
+        node = graph.nodes[owner[ins.uid]]
+        node.ops.remove(ins)
+        preheader.ops.append(ins)
+        # The destination is no longer defined inside the loop, but we do
+        # not re-derive invariance within this call — the driver loops.
+    return len(candidates)
+
+
+def _get_preheader(graph: ProgramGraph, loop: NaturalLoop) -> Node:
+    """Create a fresh preheader node in front of the loop header.
+
+    Always fresh, never reused: the candidates of one hoisting round are
+    mutually independent (an op depending on another candidate is not yet
+    invariant in that round), so they may share one VLIW node — but they
+    must not share a node with *earlier* definitions they might read,
+    which reusing an existing predecessor node could cause.  Later rounds
+    therefore stack further preheaders in front; percolation's delete
+    transformation cleans up any empties.
+    """
+    header_node = graph.nodes[loop.header]
+    outside_preds = [p for p in header_node.preds if p not in loop.body]
+    preheader = graph.new_node()
+    for p in list(outside_preds):
+        node = graph.nodes[p]
+        while loop.header in node.succs:
+            graph.redirect_edge(p, loop.header, preheader.id)
+    graph.add_edge(preheader.id, loop.header)
+    if graph.entry == loop.header:
+        graph.entry = preheader.id
+    return preheader

@@ -1,0 +1,111 @@
+"""Loop pipelining by unroll-and-compact.
+
+The UCI VLIW compiler's loop pipelining (Potasman's percolation-based
+pipelining, [10] in the paper) overlaps successive loop iterations.  We
+reproduce its *effect* with the Aiken–Nicolau recipe:
+
+1. unroll each innermost natural loop in place (plain body duplication —
+   every copy keeps its exit test, so semantics are preserved exactly for
+   any trip count);
+2. let percolation scheduling compact across the iteration seams, which are
+   now ordinary forward edges.
+
+After compaction, an operation from iteration *i+1* can sit in the same or
+the adjacent cycle as an operation from iteration *i* — which is how the
+paper's cross-iteration sequences (an add feeding a multiply in the next
+iteration) become *adjacent* and therefore detectable as chainable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.cfg.graph import ProgramGraph
+from repro.cfg.loops import NaturalLoop, find_natural_loops
+
+
+@dataclass
+class PipelineStats:
+    """What :func:`pipeline_loops` did to one graph."""
+
+    loops_seen: int = 0
+    loops_unrolled: int = 0
+    copies_made: int = 0
+    skipped_calls: int = 0
+    skipped_multi_latch: int = 0
+    skipped_size: int = 0
+
+
+def pipeline_loops(graph: ProgramGraph, factor: int = 2,
+                   max_body_nodes: int = 400) -> PipelineStats:
+    """Unroll every eligible innermost loop of *graph* by *factor*.
+
+    Loops are skipped when they contain calls (calls are scheduling
+    barriers — overlap would buy nothing), have several latches (irregular
+    ``continue`` control flow), or exceed ``max_body_nodes``.
+    """
+    stats = PipelineStats()
+    if factor < 2:
+        return stats
+    loops = find_natural_loops(graph)
+    stats.loops_seen = len(loops)
+    innermost = [lp for lp in loops if lp.is_innermost(loops)]
+    for loop in innermost:
+        if len(loop.latches) != 1:
+            stats.skipped_multi_latch += 1
+            continue
+        if loop.contains_call(graph):
+            stats.skipped_calls += 1
+            continue
+        if loop.size > max_body_nodes:
+            stats.skipped_size += 1
+            continue
+        stats.copies_made += _unroll_loop(graph, loop, factor)
+        stats.loops_unrolled += 1
+    return stats
+
+
+def _unroll_loop(graph: ProgramGraph, loop: NaturalLoop, factor: int) -> int:
+    """Clone the loop body ``factor - 1`` times and chain the copies.
+
+    The original latch's back edge is redirected to the first copy's
+    header; each copy's latch feeds the next copy; the last copy's latch
+    closes the cycle back to the original header.  Every copy keeps its own
+    exit edges, so any-trip-count semantics are untouched.
+    """
+    header = loop.header
+    latch = loop.latches[0]
+    body = sorted(loop.body)
+    copies: List[Dict[int, int]] = []
+
+    for _ in range(factor - 1):
+        mapping: Dict[int, int] = {}
+        for nid in body:
+            twin = graph.new_node()
+            original = graph.nodes[nid]
+            twin.ops = [op.clone() for op in original.ops]
+            twin.control = (original.control.clone()
+                            if original.control is not None else None)
+            mapping[nid] = twin.id
+        copies.append(mapping)
+
+    # Wire each copy's internal and exit edges.  The seam edge
+    # (latch -> header inside the copy) goes to the *next* copy's header,
+    # or back to the original header for the last copy.
+    for j, mapping in enumerate(copies):
+        next_header = (copies[j + 1][header] if j + 1 < len(copies)
+                       else header)
+        for nid in body:
+            for succ in graph.nodes[nid].succs:
+                src = mapping[nid]
+                if nid == latch and succ == header:
+                    graph.add_edge(src, next_header)
+                elif succ in loop.body:
+                    graph.add_edge(src, mapping[succ])
+                else:
+                    graph.add_edge(src, succ)
+
+    # Finally redirect the original back edge into the first copy.
+    graph.redirect_edge(latch, header, copies[0][header])
+    return len(copies) * len(body)

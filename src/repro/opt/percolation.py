@@ -1,0 +1,255 @@
+"""Percolation scheduling: compaction of program graphs.
+
+Implements the core semantics-preserving transformations of Nicolau's
+percolation scheduling ([9],[10] in the paper) on VLIW program graphs:
+
+* **move_op** — hoist an operation from a node into its predecessor(s).
+  When the node has several predecessors the operation is copied into every
+  one of them (the paper's *unify* flavour); the move happens only if it is
+  legal in all of them.
+* **delete** — remove nodes that became empty, shortening the schedule.
+* **register renaming** (optimization level 2) — when a hoist is blocked
+  only by an output dependence or by the destination being live on another
+  path, a renamed copy ``r' = op ...`` moves up and a ``mov dest, r'``
+  stays behind.  This is precisely the mechanism the paper observed to
+  *hurt* sequence detection: the producer percolates far from its consumer,
+  "communicating only through the renamed register".
+
+Legality rules (one VLIW node: reads at cycle start, writes at cycle end):
+
+1. never move a ``call``; never move anything into a node containing one;
+2. true dependence: a predecessor must not write any source of the moved op;
+3. output dependence: a predecessor must not write the op's destination
+   (renaming lifts this);
+4. liveness: the destination must be dead on every other path out of each
+   predecessor (renaming lifts this for pure, non-trapping ops);
+5. no reader left behind: no instruction remaining in the source node may
+   read the op's destination (they would suddenly see the new value);
+6. speculation: trapping ops (loads, divides, intrinsics) and stores only
+   move into predecessors whose sole successor is the source node;
+7. memory order: stores never cross may-aliasing memory operations in
+   either the target or the source node; loads never move into a node with
+   a may-aliasing store;
+8. motion follows forward edges only (strictly decreasing reverse-postorder
+   index).  Cross-back-edge motion — software pipelining — is obtained by
+   unrolling first (:mod:`repro.opt.looppipe`), which turns the interesting
+   iteration seams into forward edges.  This also guarantees termination.
+
+``move_cond`` (branch hoisting) is intentionally not implemented: chainable
+sequences are data-operation chains, and in this framework branch order
+contributes nothing to producer→consumer adjacency (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cfg.dataflow import compute_liveness
+from repro.cfg.graph import Node, ProgramGraph
+from repro.ir.instr import Instruction
+from repro.ir.ops import Op
+from repro.ir.values import VirtualReg
+from repro.opt.alias import memory_conflict
+
+#: Opcodes that may fault at run time and therefore must not be speculated.
+TRAPPING_OPS = {Op.LOAD, Op.FLOAD, Op.DIV, Op.MOD, Op.FDIV, Op.INTRIN}
+
+_LEGAL = "legal"
+_RENAME = "rename"
+_BLOCKED = "blocked"
+
+
+@dataclass
+class CompactionStats:
+    """What one :func:`compact_graph` run did."""
+
+    passes: int = 0
+    moves: int = 0
+    copies: int = 0
+    renames: int = 0
+    deleted_nodes: int = 0
+
+    def merge(self, other: "CompactionStats") -> None:
+        self.passes += other.passes
+        self.moves += other.moves
+        self.copies += other.copies
+        self.renames += other.renames
+        self.deleted_nodes += other.deleted_nodes
+
+
+def _node_has_call(node: Node) -> bool:
+    return any(ins.op is Op.CALL for ins in node.ops)
+
+
+def _check_target(op: Instruction, src_node: Node, target: Node,
+                  succ_live_in: Dict[int, Set[VirtualReg]],
+                  max_width: Optional[int]) -> str:
+    """Classify hoisting *op* from *src_node* into *target*."""
+    if _node_has_call(target):
+        return _BLOCKED
+    if max_width is not None and len(target.ops) >= max_width:
+        return _BLOCKED
+
+    speculative = (len(set(target.succs)) != 1
+                   or target.succs[0] != src_node.id)
+    if speculative and (op.op in TRAPPING_OPS or op.is_store):
+        return _BLOCKED
+
+    op_uses = set(op.uses())
+    verdict = _LEGAL
+    for existing in target.ops:
+        dest = existing.dest
+        if dest is not None and dest in op_uses:
+            return _BLOCKED  # true dependence
+        if dest is not None and op.dest is not None and dest == op.dest:
+            verdict = _RENAME  # output dependence: renaming can fix it
+        if (op.is_store or op.is_load) and memory_conflict(op, existing):
+            return _BLOCKED
+
+    if op.dest is not None:
+        for succ in target.succs:
+            if succ == src_node.id:
+                continue
+            if op.dest in succ_live_in[succ]:
+                verdict = _RENAME
+    if verdict is _RENAME:
+        # Renaming produces a speculatively executed copy, so the op must
+        # be pure and non-trapping, and it needs a destination to rename.
+        if (op.dest is None or op.is_store or op.has_side_effects
+                or op.op in TRAPPING_OPS):
+            return _BLOCKED
+    return verdict
+
+
+def _movable_from_source(op: Instruction, src_node: Node) -> bool:
+    """Check source-node conditions (reader-left-behind, memory order)."""
+    if op.op is Op.CALL:
+        return False
+    remaining = [ins for ins in src_node.ops if ins is not op]
+    if op.dest is not None:
+        for other in remaining:
+            if op.dest in other.uses():
+                return False
+        control = src_node.control
+        if control is not None and op.dest in control.uses():
+            return False
+    if op.is_store:
+        for other in remaining:
+            if memory_conflict(op, other):
+                return False
+    return True
+
+
+def compact_graph(graph: ProgramGraph, rename: bool = False,
+                  max_width: Optional[int] = None,
+                  max_passes: int = 64) -> CompactionStats:
+    """Percolate operations upward until fixpoint.
+
+    With ``rename=True`` this is the paper's optimization level 2 behaviour;
+    without it, level 1.  Returns :class:`CompactionStats`.
+    """
+    stats = CompactionStats()
+    for _ in range(max_passes):
+        stats.passes += 1
+        made_progress = _compaction_pass(graph, rename, max_width, stats)
+        stats.deleted_nodes += delete_empty_nodes(graph)
+        if not made_progress:
+            break
+    return stats
+
+
+def _compaction_pass(graph: ProgramGraph, rename: bool,
+                     max_width: Optional[int],
+                     stats: CompactionStats) -> bool:
+    liveness = compute_liveness(graph)
+    live_in = liveness.live_in
+    live_out = liveness.live_out
+    order = graph.rpo_order()
+    rpo_index = {nid: i for i, nid in enumerate(order)}
+    moved_any = False
+
+    for nid in order:
+        node = graph.nodes.get(nid)
+        if node is None or not node.preds:
+            continue
+        for op in list(node.ops):
+            if op not in node.ops:
+                continue
+            preds = list(dict.fromkeys(node.preds))
+            if any(p == nid for p in preds):
+                continue
+            # Forward motion only (termination + no cycling around loops).
+            if any(rpo_index.get(p, -1) >= rpo_index[nid] for p in preds):
+                continue
+            if not _movable_from_source(op, node):
+                continue
+            verdicts = [
+                _check_target(op, node, graph.nodes[p], live_in, max_width)
+                for p in preds
+            ]
+            if any(v is _BLOCKED for v in verdicts):
+                continue
+            needs_rename = any(v is _RENAME for v in verdicts)
+            if needs_rename and not rename:
+                continue
+
+            if needs_rename:
+                fresh = graph.new_temp(op.dest.is_float)
+                for p in preds:
+                    clone = op.clone()
+                    clone.dest = fresh
+                    graph.nodes[p].ops.append(clone)
+                    live_out[p] = live_out[p] | {fresh}
+                mov_op = Op.FMOV if op.dest.is_float else Op.MOV
+                index = node.ops.index(op)
+                node.ops[index] = Instruction(
+                    mov_op, dest=op.dest, srcs=(fresh,),
+                    origin=op.origin, loc=op.loc)
+                live_in[nid] = live_in[nid] | {fresh}
+                stats.renames += 1
+                stats.copies += len(preds) - 1
+            else:
+                node.ops.remove(op)
+                first = True
+                for p in preds:
+                    moved = op if first else op.clone()
+                    first = False
+                    graph.nodes[p].ops.append(moved)
+                    if op.dest is not None:
+                        live_out[p] = live_out[p] | {op.dest}
+                if op.dest is not None:
+                    live_in[nid] = live_in[nid] | {op.dest}
+                stats.moves += 1
+                stats.copies += len(preds) - 1
+            moved_any = True
+    return moved_any
+
+
+def delete_empty_nodes(graph: ProgramGraph) -> int:
+    """The *delete* transformation: splice out empty single-successor nodes.
+
+    Every deleted node shortens some path by one cycle, which is where
+    compaction's speedup comes from — and what brings a producer and its
+    consumer into adjacent cycles.
+    """
+    deleted = 0
+    changed = True
+    while changed:
+        changed = False
+        for nid in list(graph.nodes):
+            node = graph.nodes[nid]
+            if not node.is_empty or len(node.succs) != 1:
+                continue
+            succ = node.succs[0]
+            if succ == nid:
+                continue  # empty self-loop: never deletable
+            for pred in list(node.preds):
+                graph.redirect_edge(pred, nid, succ)
+            graph.remove_edge(nid, succ)
+            if nid == graph.entry:
+                graph.entry = succ
+            graph.remove_node(nid)
+            deleted += 1
+            changed = True
+    return deleted

@@ -1,0 +1,28 @@
+"""Rendering of the paper's tables and figures as text artifacts.
+
+:mod:`repro.reporting.tables` regenerates Tables 1-3;
+:mod:`repro.reporting.figures` regenerates the Figure 3-6 series (as
+aligned numeric columns plus ASCII bar charts — the information content of
+the paper's plots, printable in a terminal or CI log).
+"""
+
+from repro.reporting.tables import (render_table, table1, table2, table3,
+                                    table3_rows)
+from repro.reporting.figures import (ascii_chart, figure_series,
+                                     figure3, figure4, figure5, figure6)
+from repro.reporting.markdown import study_report
+
+__all__ = [
+    "render_table",
+    "table1",
+    "table2",
+    "table3",
+    "table3_rows",
+    "ascii_chart",
+    "figure_series",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "study_report",
+]

@@ -1,0 +1,114 @@
+"""Text renderings of the paper's figures.
+
+* Figures 3/4 — frequency-vs-rank curves of all detected sequences of one
+  length, combined across the suite, one series per optimization level;
+* Figures 5/6 — per-benchmark detected sequences (dynamic frequency >= 5%).
+
+Each figure renders as aligned numeric columns plus an ASCII bar chart —
+the same information the paper plots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaining.sequence import sequence_label
+from repro.feedback.study import StudyResult
+from repro.opt.pipeline import OptLevel
+
+#: Figures 5/6 report only sequences at or above this dynamic frequency.
+FIGURE_MIN_FREQUENCY = 5.0
+
+
+def ascii_chart(values: Sequence[float], width: int = 50,
+                label: str = "") -> List[str]:
+    """Horizontal ASCII bars, one row per value."""
+    if not values:
+        return [f"{label} (empty)"] if label else ["(empty)"]
+    peak = max(values) or 1.0
+    lines = []
+    for i, v in enumerate(values):
+        bar = "#" * max(1, int(round(width * v / peak))) if v > 0 else ""
+        lines.append(f"{i + 1:>4} | {v:7.2f}% | {bar}")
+    return lines
+
+
+def figure_series(study: StudyResult, length: int
+                  ) -> Dict[int, List[float]]:
+    """Sorted frequency series per level — the raw data of Figures 3/4."""
+    return {int(level): study.combined(level).series(length)
+            for level in study.config.levels}
+
+
+def _figure_combined(study: StudyResult, length: int, number: int) -> str:
+    series = figure_series(study, length)
+    lines = [
+        f"Figure {number}: Length {length} sequences detected using "
+        f"three levels of optimization",
+        f"(sequence rank vs dynamic frequency, combined over "
+        f"{len(study.benchmarks)} benchmarks)",
+        "",
+    ]
+    for level in sorted(series):
+        label = OptLevel(level).label
+        values = series[level]
+        lines.append(f"--- {label} ({len(values)} sequences)")
+        top = study.combined(level).top(length, 12)
+        for rank, (name, freq) in enumerate(top, start=1):
+            bar = "#" * max(1, int(round(freq * 2))) if freq > 0 else ""
+            lines.append(f"{rank:>4}. {sequence_label(name):28s} "
+                         f"{freq:6.2f}% {bar}")
+        rest = len(values) - len(top)
+        if rest > 0:
+            tail = sum(values[len(top):])
+            lines.append(f"      ... {rest} more sequences "
+                         f"({tail:.2f}% combined)")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def figure3(study: StudyResult) -> str:
+    """Regenerate Figure 3 (length-2 sequences, three levels)."""
+    return _figure_combined(study, 2, 3)
+
+
+def figure4(study: StudyResult) -> str:
+    """Regenerate Figure 4 (length-4 sequences, three levels)."""
+    return _figure_combined(study, 4, 4)
+
+
+def _figure_per_benchmark(study: StudyResult, length: int, number: int,
+                          level: int,
+                          min_frequency: float = FIGURE_MIN_FREQUENCY
+                          ) -> str:
+    lines = [
+        f"Figure {number}: Detected chainable sequences of length {length}",
+        f"(per benchmark, dynamic frequency >= {min_frequency:.0f}%, "
+        f"optimization level {level})",
+        "",
+    ]
+    for name, bench in study.benchmarks.items():
+        detection = bench.detection_at(level)
+        rows = [(seq_name, freq)
+                for seq_name, freq in detection.top(length)
+                if freq >= min_frequency]
+        lines.append(f"--- {name}")
+        if not rows:
+            lines.append(f"      (no length-{length} sequences above "
+                         f"{min_frequency:.0f}%)")
+        for seq_name, freq in rows:
+            bar = "#" * max(1, int(round(freq)))
+            lines.append(f"      {sequence_label(seq_name):28s} "
+                         f"{freq:6.2f}% {bar}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def figure5(study: StudyResult, level: int = 1) -> str:
+    """Regenerate Figure 5 (per-benchmark length-2 sequences)."""
+    return _figure_per_benchmark(study, 2, 5, level)
+
+
+def figure6(study: StudyResult, level: int = 1) -> str:
+    """Regenerate Figure 6 (per-benchmark length-4 sequences)."""
+    return _figure_per_benchmark(study, 4, 6, level)

@@ -1,0 +1,129 @@
+"""ASCII renderings of the paper's tables.
+
+* :func:`table1` — benchmark descriptions (paper Table 1);
+* :func:`table2` — example sequence frequencies at the three optimization
+  levels, combined across the suite (paper Table 2);
+* :func:`table3` — iterative sequence coverage with and without the
+  parallelizing optimizations (paper Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaining.coverage import CoverageReport
+from repro.chaining.sequence import SequenceName, sequence_label
+from repro.feedback.study import StudyResult
+from repro.opt.pipeline import OptLevel
+from repro.suite.registry import all_benchmarks
+
+#: The example sequences of paper Table 2.
+TABLE2_SEQUENCES: Tuple[SequenceName, ...] = (
+    ("multiply", "add"),
+    ("add", "multiply"),
+    ("add", "add"),
+    ("add", "multiply", "add"),
+    ("multiply", "add", "add"),
+)
+
+#: The benchmark subset of paper Table 3.
+TABLE3_BENCHMARKS: Tuple[str, ...] = ("sewha", "feowf", "bspline", "edge",
+                                      "iir")
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(h) for h in headers]]
+    cells += [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def table1() -> str:
+    """Regenerate Table 1: benchmark descriptions."""
+    rows = []
+    for spec in all_benchmarks():
+        rows.append((spec.name, spec.source_lines, spec.description,
+                     spec.data_description))
+    return render_table(
+        ("Benchmark", "Lines", "Description", "Data Input"),
+        rows,
+        title="Table 1: Benchmark Descriptions",
+    )
+
+
+def table2(study: StudyResult,
+           sequences: Sequence[SequenceName] = TABLE2_SEQUENCES) -> str:
+    """Regenerate Table 2: example combined sequence frequencies."""
+    combined = {level: study.combined(level)
+                for level in study.config.levels}
+    rows = []
+    for name in sequences:
+        row: List[str] = [sequence_label(name)]
+        for level in study.config.levels:
+            row.append(f"{combined[level].frequency(name):.2f}%")
+        rows.append(row)
+    headers = ["Operation Sequence"] + [
+        f"level {int(lvl)}" for lvl in study.config.levels]
+    return render_table(
+        headers, rows,
+        title="Table 2: Detected sequence examples (across all benchmarks)")
+
+
+def table3_rows(study: StudyResult,
+                benchmarks: Sequence[str] = TABLE3_BENCHMARKS,
+                optimized_level: int = 1,
+                threshold: float = 4.0,
+                max_sequences: int = 12,
+                ) -> Dict[str, Dict[bool, CoverageReport]]:
+    """Coverage reports for Table 3: benchmark -> {optimized?: report}."""
+    rows: Dict[str, Dict[bool, CoverageReport]] = {}
+    for name in benchmarks:
+        rows[name] = {
+            True: study.coverage(name, optimized_level,
+                                 threshold=threshold,
+                                 max_sequences=max_sequences),
+            False: study.coverage(name, 0, threshold=threshold,
+                                  max_sequences=max_sequences),
+        }
+    return rows
+
+
+def table3(study: StudyResult,
+           benchmarks: Sequence[str] = TABLE3_BENCHMARKS,
+           optimized_level: int = 1,
+           threshold: float = 4.0) -> str:
+    """Regenerate Table 3: iterative sequence coverage."""
+    reports = table3_rows(study, benchmarks, optimized_level, threshold)
+    rows: List[Tuple] = []
+    for name in benchmarks:
+        for optimized in (True, False):
+            report = reports[name][optimized]
+            first = True
+            for step in report.steps:
+                rows.append((
+                    name if first else "",
+                    ("yes" if optimized else "no") if first else "",
+                    step.label,
+                    f"{step.frequency:.2f}%",
+                    f"{report.coverage:.2f}%" if first else "",
+                ))
+                first = False
+            if not report.steps:
+                rows.append((name, "yes" if optimized else "no",
+                             "(none above threshold)", "-", "0.00%"))
+    return render_table(
+        ("Benchmark", "Opt.", "Sequences", "Frequency", "Coverage"),
+        rows,
+        title="Table 3: Sequence Coverage")

@@ -1,0 +1,63 @@
+"""Array storage of the simulated machine.
+
+Arrays are the only memory.  Accesses are bounds-checked — an out-of-range
+index is a :class:`~repro.errors.SimulationError`, which keeps benchmark bugs
+and (more importantly) broken optimizer transformations loud.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.ir.values import ArraySymbol
+
+
+class ArrayStorage:
+    """Bounds-checked storage backing one :class:`ArraySymbol`."""
+
+    __slots__ = ("name", "size", "is_float", "data")
+
+    def __init__(self, symbol: ArraySymbol,
+                 init: Optional[Sequence] = None,
+                 size_override: Optional[int] = None):
+        self.name = symbol.name
+        self.size = size_override if size_override is not None else symbol.size
+        self.is_float = symbol.is_float
+        fill = 0.0 if self.is_float else 0
+        self.data: List = [fill] * self.size
+        if init is not None:
+            if len(init) > self.size:
+                raise SimulationError(
+                    f"initializer for {self.name!r} exceeds array size")
+            for i, v in enumerate(init):
+                self.data[i] = float(v) if self.is_float else int(v)
+
+    def load(self, index: int):
+        if not 0 <= index < self.size:
+            raise SimulationError(
+                f"load out of bounds: {self.name}[{index}] "
+                f"(size {self.size})")
+        return self.data[index]
+
+    def store(self, index: int, value) -> None:
+        if not 0 <= index < self.size:
+            raise SimulationError(
+                f"store out of bounds: {self.name}[{index}] "
+                f"(size {self.size})")
+        self.data[index] = float(value) if self.is_float else int(value)
+
+    def snapshot(self) -> List:
+        return list(self.data)
+
+    def fill_from(self, values: Sequence) -> None:
+        if len(values) > self.size:
+            raise SimulationError(
+                f"input for {self.name!r} has {len(values)} values; the "
+                f"array holds {self.size}")
+        for i, v in enumerate(values):
+            self.data[i] = float(v) if self.is_float else int(v)
+
+    def __repr__(self) -> str:
+        kind = "float" if self.is_float else "int"
+        return f"<ArrayStorage {self.name}: {kind}[{self.size}]>"

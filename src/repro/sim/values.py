@@ -1,0 +1,63 @@
+"""Scalar semantics of the simulated machine.
+
+Integers follow C: division and modulo truncate toward zero, shifts are
+arithmetic.  We deliberately keep Python's unbounded integers (the DSP
+benchmarks never rely on 32-bit wraparound) — this matches the paper's
+3-address simulator, which modelled word-size-agnostic operations.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimulationError
+
+
+def int_div(a: int, b: int) -> int:
+    """C-style truncating integer division."""
+    if b == 0:
+        raise SimulationError("integer division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def int_mod(a: int, b: int) -> int:
+    """C-style remainder: ``a == int_div(a, b) * b + int_mod(a, b)``."""
+    if b == 0:
+        raise SimulationError("integer modulo by zero")
+    return a - int_div(a, b) * b
+
+
+def float_div(a: float, b: float) -> float:
+    if b == 0.0:
+        raise SimulationError("floating-point division by zero")
+    return a / b
+
+
+def shift_left(a: int, b: int) -> int:
+    if b < 0:
+        raise SimulationError("negative shift amount")
+    return a << b
+
+
+def shift_right(a: int, b: int) -> int:
+    if b < 0:
+        raise SimulationError("negative shift amount")
+    return a >> b
+
+
+INTRINSIC_IMPL = {
+    "sin": lambda a: math.sin(a),
+    "cos": lambda a: math.cos(a),
+    "sqrt": lambda a: math.sqrt(a) if a >= 0 else _domain("sqrt", a),
+    "fabs": lambda a: abs(a),
+    "exp": lambda a: math.exp(a),
+    "log": lambda a: math.log(a) if a > 0 else _domain("log", a),
+    "atan2": lambda a, b: math.atan2(a, b),
+    "pow": lambda a, b: math.pow(a, b),
+    "abs": lambda a: abs(a),
+}
+
+
+def _domain(name: str, value) -> float:
+    raise SimulationError(f"math domain error: {name}({value})")

@@ -1,0 +1,65 @@
+"""Deterministic input generators for the benchmark suite.
+
+Table 1 specifies each benchmark's input: random floating-point arrays,
+random integer streams, or 24x24 8-bit images.  All generators take a seed
+so every experiment is exactly reproducible; the "8-bit image" generator
+synthesizes a blurred random field with a bright rectangle so edge/histogram
+benchmarks see realistic structure instead of white noise.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+
+def rng_for(name: str, seed: int = 0) -> random.Random:
+    """A private RNG per (benchmark, seed) so benchmarks are independent."""
+    return random.Random(f"{name}:{seed}")
+
+
+def random_floats(rng: random.Random, count: int,
+                  lo: float = -1.0, hi: float = 1.0) -> List[float]:
+    """Uniform floats in [lo, hi] — Table 1's "random floating point"."""
+    return [rng.uniform(lo, hi) for _ in range(count)]
+
+
+def random_ints(rng: random.Random, count: int,
+                lo: int = -512, hi: int = 511) -> List[int]:
+    """Uniform integers — Table 1's "random integer values" streams."""
+    return [rng.randint(lo, hi) for _ in range(count)]
+
+
+def random_image(rng: random.Random, rows: int = 24,
+                 cols: int = 24) -> List[int]:
+    """A 24x24 8-bit image, row-major, with spatial structure.
+
+    Base: smooth random field (box-blurred noise).  Feature: a brighter
+    rectangle, so edge detection finds edges and histogram flattening sees
+    a skewed distribution.
+    """
+    noise = [[rng.randint(0, 255) for _ in range(cols)]
+             for _ in range(rows)]
+    blurred = [[0] * cols for _ in range(rows)]
+    for r in range(rows):
+        for c in range(cols):
+            total = 0
+            count = 0
+            for dr in (-1, 0, 1):
+                for dc in (-1, 0, 1):
+                    rr, cc = r + dr, c + dc
+                    if 0 <= rr < rows and 0 <= cc < cols:
+                        total += noise[rr][cc]
+                        count += 1
+            blurred[r][c] = total // count
+    # Compress dynamic range into the dark half, then add a bright patch.
+    r0, c0 = rng.randint(4, rows - 12), rng.randint(4, cols - 12)
+    h, w = rng.randint(5, 8), rng.randint(5, 8)
+    image = []
+    for r in range(rows):
+        for c in range(cols):
+            value = blurred[r][c] // 2 + 32
+            if r0 <= r < r0 + h and c0 <= c < c0 + w:
+                value = min(255, value + 120)
+            image.append(value)
+    return image

@@ -1,0 +1,15 @@
+"""Mini-C sources of the twelve Table-1 benchmarks.
+
+Each module exposes ``NAME``, ``DESCRIPTION``, ``DATA_DESCRIPTION`` (the
+Table-1 columns), ``SOURCE`` (the mini-C text), ``INPUTS`` (global arrays
+bound to generated data), ``OUTPUTS`` (global arrays read back as results)
+and ``generate_inputs(seed)``.
+"""
+
+from repro.suite.programs import (bspline, compress, dft, edge, feowf, fir,
+                                  flatten, iir, intfft, pse, sewha, smooth)
+
+ALL_PROGRAMS = (fir, iir, pse, intfft, compress, flatten, smooth, edge,
+                sewha, dft, bspline, feowf)
+
+__all__ = ["ALL_PROGRAMS"] + [m.NAME for m in ALL_PROGRAMS]

@@ -1,0 +1,43 @@
+"""bspline — cubic B-spline FIR smoothing filter over an integer stream.
+
+The cubic B-spline kernel (1, 4, 6, 4, 1)/16 applied to 256 integer
+samples; the power-of-two-friendly weights become shift/add chains.
+"""
+
+NAME = "bspline"
+DESCRIPTION = "B Spline (FIR) filter"
+DATA_DESCRIPTION = "Stream of 256 random integer values"
+INPUTS = ("x",)
+OUTPUTS = ("y",)
+
+SOURCE = r"""
+/* Cubic B-spline smoothing: y = (x[-2] + 4x[-1] + 6x[0] + 4x[1] + x[2])/16 */
+
+int x[256];
+int y[256];
+int N = 256;
+
+int main() {
+    int i;
+    y[0] = x[0];
+    y[1] = x[1];
+    for (i = 2; i < N - 2; i++) {
+        int acc;
+        acc = x[i - 2]
+            + 4 * x[i - 1]
+            + 6 * x[i]
+            + 4 * x[i + 1]
+            + x[i + 2];
+        y[i] = acc >> 4;
+    }
+    y[N - 2] = x[N - 2];
+    y[N - 1] = x[N - 1];
+    return 0;
+}
+"""
+
+
+def generate_inputs(seed: int = 0):
+    from repro.suite.data import random_ints, rng_for
+    rng = rng_for(NAME, seed)
+    return {"x": random_ints(rng, 256)}

@@ -1,0 +1,142 @@
+"""compress — discrete cosine transform image compression (4:1).
+
+The 24x24 image is processed as nine 8x8 blocks: forward 2-D DCT-II
+(separable, via a runtime-built cosine basis), 4:1 compression by zeroing
+all but the low-frequency 4x4 quadrant of each block, inverse DCT, and
+clamped reconstruction.
+"""
+
+NAME = "compress"
+DESCRIPTION = "Discrete cosine transformation (4:1 comp)"
+DATA_DESCRIPTION = "24x24 8-bit image"
+INPUTS = ("img",)
+OUTPUTS = ("recon",)
+
+SOURCE = r"""
+/* 8x8 block DCT compression at 4:1 (keep the 4x4 low-frequency quadrant),
+ * followed by the inverse transform for reconstruction. */
+
+int img[24][24];
+int recon[24][24];
+float basis[8][8];       /* basis[k][n] = c(k) cos((2n+1) k pi / 16) */
+float coef[8][8];        /* transform coefficients of one block */
+int ROWS = 24;
+int COLS = 24;
+int BSIZE = 8;
+int KEEP = 4;
+float PI = 3.141592653589793;
+
+void build_basis() {
+    int k;
+    int n;
+    for (k = 0; k < BSIZE; k++) {
+        float ck;
+        if (k == 0) {
+            ck = 0.3535533905932738;     /* sqrt(1/8) */
+        } else {
+            ck = 0.5;                    /* sqrt(2/8) */
+        }
+        for (n = 0; n < BSIZE; n++) {
+            basis[k][n] = ck * cos((2.0 * (float) n + 1.0)
+                                   * (float) k * PI / 16.0);
+        }
+    }
+}
+
+/* Forward 2-D DCT of the block at (br, bc): coef = B * block * B^T. */
+void forward_block(int br, int bc) {
+    float tmp[8][8];
+    int u;
+    int v;
+    int n;
+    for (u = 0; u < BSIZE; u++) {
+        for (v = 0; v < BSIZE; v++) {
+            float acc;
+            acc = 0.0;
+            for (n = 0; n < BSIZE; n++) {
+                acc += basis[u][n] * (float) img[br + n][bc + v];
+            }
+            tmp[u][v] = acc;
+        }
+    }
+    for (u = 0; u < BSIZE; u++) {
+        for (v = 0; v < BSIZE; v++) {
+            float acc;
+            acc = 0.0;
+            for (n = 0; n < BSIZE; n++) {
+                acc += tmp[u][n] * basis[v][n];
+            }
+            coef[u][v] = acc;
+        }
+    }
+}
+
+/* 4:1 compression: zero everything outside the KEEP x KEEP quadrant. */
+void quantize_block() {
+    int u;
+    int v;
+    for (u = 0; u < BSIZE; u++) {
+        for (v = 0; v < BSIZE; v++) {
+            if (u >= KEEP || v >= KEEP) {
+                coef[u][v] = 0.0;
+            }
+        }
+    }
+}
+
+/* Inverse 2-D DCT: block = B^T * coef * B, clamped to 8 bits. */
+void inverse_block(int br, int bc) {
+    float tmp[8][8];
+    int n;
+    int m;
+    int u;
+    for (n = 0; n < BSIZE; n++) {
+        for (m = 0; m < BSIZE; m++) {
+            float acc;
+            acc = 0.0;
+            for (u = 0; u < BSIZE; u++) {
+                acc += basis[u][n] * coef[u][m];
+            }
+            tmp[n][m] = acc;
+        }
+    }
+    for (n = 0; n < BSIZE; n++) {
+        for (m = 0; m < BSIZE; m++) {
+            float acc;
+            int pixel;
+            acc = 0.0;
+            for (u = 0; u < BSIZE; u++) {
+                acc += tmp[n][u] * basis[u][m];
+            }
+            pixel = (int) (acc + 0.5);
+            if (pixel < 0) {
+                pixel = 0;
+            }
+            if (pixel > 255) {
+                pixel = 255;
+            }
+            recon[br + n][bc + m] = pixel;
+        }
+    }
+}
+
+int main() {
+    int br;
+    int bc;
+    build_basis();
+    for (br = 0; br < ROWS; br += 8) {
+        for (bc = 0; bc < COLS; bc += 8) {
+            forward_block(br, bc);
+            quantize_block();
+            inverse_block(br, bc);
+        }
+    }
+    return 0;
+}
+"""
+
+
+def generate_inputs(seed: int = 0):
+    from repro.suite.data import random_image, rng_for
+    rng = rng_for(NAME, seed)
+    return {"img": random_image(rng)}

@@ -1,0 +1,45 @@
+"""dft — single-bin discrete Fourier transform (Goertzel recurrence).
+
+Table 1 lists a 15-line "discrete fast fourier transform" over an integer
+stream; the Goertzel algorithm is the canonical 15-line way to evaluate a
+DFT bin with one multiply-add recurrence per sample — a MAC showcase.
+"""
+
+NAME = "dft"
+DESCRIPTION = "Discrete fast fourier transform"
+DATA_DESCRIPTION = "Stream of 256 random integer values"
+INPUTS = ("x",)
+OUTPUTS = ("power",)
+
+SOURCE = r"""
+/* Goertzel evaluation of DFT bin 8 over 256 integer samples. */
+
+int x[256];
+float power[1];
+int N = 256;
+float PI = 3.141592653589793;
+
+int main() {
+    int i;
+    float s0;
+    float s1;
+    float s2;
+    float coeff;
+    coeff = 2.0 * cos(2.0 * PI * 8.0 / 256.0);
+    s1 = 0.0;
+    s2 = 0.0;
+    for (i = 0; i < N; i++) {
+        s0 = coeff * s1 - s2 + (float) x[i];
+        s2 = s1;
+        s1 = s0;
+    }
+    power[0] = s1 * s1 + s2 * s2 - coeff * s1 * s2;
+    return 0;
+}
+"""
+
+
+def generate_inputs(seed: int = 0):
+    from repro.suite.data import random_ints, rng_for
+    rng = rng_for(NAME, seed)
+    return {"x": random_ints(rng, 256)}

@@ -1,0 +1,96 @@
+"""edge — edge detection using two-dimensional convolution on a 24x24
+image: Sobel gradients in both directions, absolute-sum magnitude,
+threshold into a binary edge map, plus an edge-pixel count."""
+
+NAME = "edge"
+DESCRIPTION = "Edge detection using 2D convolution"
+DATA_DESCRIPTION = "24x24 8-bit image"
+INPUTS = ("img",)
+OUTPUTS = ("mag", "edges")
+
+SOURCE = r"""
+/* Sobel edge detection.
+ * Horizontal kernel gx:   -1 0 1      Vertical kernel gy:   -1 -2 -1
+ *                         -2 0 2                             0  0  0
+ *                         -1 0 1                             1  2  1
+ * Magnitude |gx| + |gy|, then a fixed threshold produces the edge map. */
+
+int img[24][24];
+int mag[24][24];
+int edges[24][24];
+int nedges[1];
+int ROWS = 24;
+int COLS = 24;
+int THRESH = 96;
+
+int gradient_x(int r, int c) {
+    int gx;
+    gx = img[r - 1][c + 1] - img[r - 1][c - 1]
+       + 2 * img[r][c + 1] - 2 * img[r][c - 1]
+       + img[r + 1][c + 1] - img[r + 1][c - 1];
+    return gx;
+}
+
+int gradient_y(int r, int c) {
+    int gy;
+    gy = img[r + 1][c - 1] - img[r - 1][c - 1]
+       + 2 * img[r + 1][c] - 2 * img[r - 1][c]
+       + img[r + 1][c + 1] - img[r - 1][c + 1];
+    return gy;
+}
+
+void convolve2d() {
+    int r;
+    int c;
+    for (r = 1; r < ROWS - 1; r++) {
+        for (c = 1; c < COLS - 1; c++) {
+            int gx;
+            int gy;
+            int m;
+            gx = gradient_x(r, c);
+            gy = gradient_y(r, c);
+            if (gx < 0) {
+                gx = -gx;
+            }
+            if (gy < 0) {
+                gy = -gy;
+            }
+            m = gx + gy;
+            if (m > 255) {
+                m = 255;
+            }
+            mag[r][c] = m;
+        }
+    }
+}
+
+void threshold_map() {
+    int r;
+    int c;
+    int count;
+    count = 0;
+    for (r = 0; r < ROWS; r++) {
+        for (c = 0; c < COLS; c++) {
+            if (mag[r][c] >= THRESH) {
+                edges[r][c] = 1;
+                count = count + 1;
+            } else {
+                edges[r][c] = 0;
+            }
+        }
+    }
+    nedges[0] = count;
+}
+
+int main() {
+    convolve2d();
+    threshold_map();
+    return nedges[0];
+}
+"""
+
+
+def generate_inputs(seed: int = 0):
+    from repro.suite.data import random_image, rng_for
+    rng = rng_for(NAME, seed)
+    return {"img": random_image(rng)}

@@ -1,0 +1,57 @@
+"""feowf — fifth-order elliptic wave filter over an integer stream.
+
+The classic high-level-synthesis benchmark, realized here as a fifth-order
+recursive integer structure: five one-pole sections in cascade with
+shift-scaled feedback (every feedback gain < 1, so the fixed-point state
+stays bounded) plus an elliptic-style feed-forward tap combination.  The
+structure preserves what matters for the paper's analysis: a dense mesh of
+integer multiply/add/shift operations with loop-carried dependences.
+"""
+
+NAME = "feowf"
+DESCRIPTION = "Fifth order elliptic wave filter"
+DATA_DESCRIPTION = "Stream of 256 random integer values"
+INPUTS = ("x",)
+OUTPUTS = ("y",)
+
+SOURCE = r"""
+/* Fifth-order recursive wave filter, fixed point.  Feedback products are
+ * scaled by right shifts; all loop gains are below one. */
+
+int x[256];
+int y[256];
+int N = 256;
+
+int main() {
+    int i;
+    int d1;
+    int d2;
+    int d3;
+    int d4;
+    int d5;
+    d1 = 0;
+    d2 = 0;
+    d3 = 0;
+    d4 = 0;
+    d5 = 0;
+    for (i = 0; i < N; i++) {
+        int in;
+        int out;
+        in = x[i];
+        d1 = in + ((d1 * 3) >> 2);
+        d2 = d1 + ((d2 * 5) >> 3);
+        d3 = d2 + ((d3 * 9) >> 4);
+        d4 = d3 + ((d4 * 7) >> 4);
+        d5 = d4 + ((d5 * 3) >> 3);
+        out = d5 - d3 + (d1 >> 2) + ((d4 * 3) >> 3);
+        y[i] = out;
+    }
+    return 0;
+}
+"""
+
+
+def generate_inputs(seed: int = 0):
+    from repro.suite.data import random_ints, rng_for
+    rng = rng_for(NAME, seed)
+    return {"x": random_ints(rng, 256)}

@@ -1,0 +1,81 @@
+"""fir — 35-point lowpass floating-point FIR filter (cutoff 0.2).
+
+The filter designs its own coefficients at run time (windowed sinc with a
+Hamming window), then convolves the input stream — the classic Embree &
+Kimble FIR example the paper adapted.
+"""
+
+NAME = "fir"
+DESCRIPTION = "35-point lowpass fp FIR filter (cutoff 0.2)"
+DATA_DESCRIPTION = "Random array of 100 floating point values"
+INPUTS = ("x",)
+OUTPUTS = ("y",)
+
+SOURCE = r"""
+/* 35-point lowpass FIR filter, cutoff 0.2 (normalized), Hamming window. */
+
+float x[100];            /* input samples  */
+float y[100];            /* filtered output */
+float h[35];             /* filter coefficients */
+
+int NSAMP = 100;
+int NTAPS = 35;
+float CUTOFF = 0.2;
+float PI = 3.141592653589793;
+
+/* Windowed-sinc lowpass design. */
+void design_lowpass() {
+    int k;
+    int mid;
+    float wc;
+    mid = (NTAPS - 1) / 2;
+    wc = PI * CUTOFF;
+    for (k = 0; k < NTAPS; k++) {
+        int m;
+        float ideal;
+        float window;
+        m = k - mid;
+        if (m == 0) {
+            ideal = wc / PI;
+        } else {
+            float fm;
+            fm = (float) m;
+            ideal = sin(wc * fm) / (PI * fm);
+        }
+        window = 0.54 - 0.46 * cos(2.0 * PI * (float) k
+                                   / (float) (NTAPS - 1));
+        h[k] = ideal * window;
+    }
+}
+
+/* Direct-form convolution; the start-up transient uses the available
+ * history only. */
+void fir_filter() {
+    int i;
+    int k;
+    for (i = 0; i < NSAMP; i++) {
+        float acc;
+        acc = 0.0;
+        for (k = 0; k < NTAPS; k++) {
+            int j;
+            j = i - k;
+            if (j >= 0) {
+                acc += h[k] * x[j];
+            }
+        }
+        y[i] = acc;
+    }
+}
+
+int main() {
+    design_lowpass();
+    fir_filter();
+    return 0;
+}
+"""
+
+
+def generate_inputs(seed: int = 0):
+    from repro.suite.data import random_floats, rng_for
+    rng = rng_for(NAME, seed)
+    return {"x": random_floats(rng, 100)}

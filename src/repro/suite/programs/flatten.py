@@ -1,0 +1,72 @@
+"""flatten — histogram flattening (gray-level modification) of a 24x24
+8-bit image: histogram, cumulative distribution, remap through a lookup
+table so the output's gray levels are approximately uniform."""
+
+NAME = "flatten"
+DESCRIPTION = "Histogram flattening (gray level mod.)"
+DATA_DESCRIPTION = "24x24 8-bit image"
+INPUTS = ("img",)
+OUTPUTS = ("out",)
+
+SOURCE = r"""
+/* Histogram equalization on an 8-bit image. */
+
+int img[24][24];
+int out[24][24];
+int hist[256];
+int lut[256];
+int ROWS = 24;
+int COLS = 24;
+int LEVELS = 256;
+
+void build_histogram() {
+    int r;
+    int c;
+    int v;
+    for (v = 0; v < LEVELS; v++) {
+        hist[v] = 0;
+    }
+    for (r = 0; r < ROWS; r++) {
+        for (c = 0; c < COLS; c++) {
+            int p;
+            p = img[r][c];
+            hist[p] = hist[p] + 1;
+        }
+    }
+}
+
+void build_lut() {
+    int v;
+    int cdf;
+    int total;
+    cdf = 0;
+    total = ROWS * COLS;
+    for (v = 0; v < LEVELS; v++) {
+        cdf = cdf + hist[v];
+        lut[v] = (cdf * 255) / total;
+    }
+}
+
+void remap() {
+    int r;
+    int c;
+    for (r = 0; r < ROWS; r++) {
+        for (c = 0; c < COLS; c++) {
+            out[r][c] = lut[img[r][c]];
+        }
+    }
+}
+
+int main() {
+    build_histogram();
+    build_lut();
+    remap();
+    return 0;
+}
+"""
+
+
+def generate_inputs(seed: int = 0):
+    from repro.suite.data import random_image, rng_for
+    rng = rng_for(NAME, seed)
+    return {"img": random_image(rng)}

@@ -1,0 +1,64 @@
+"""iir — three-section IIR filter (Chebyshev-style, 1 dB passband ripple).
+
+A cascade of three direct-form-II biquads with fixed coefficient tables,
+matching the paper's "IIR filter - 3-section, 1dB passband ripple".
+"""
+
+NAME = "iir"
+DESCRIPTION = "IIR filter - 3-section, 1dB passband ripple"
+DATA_DESCRIPTION = "Random array of 100 floating point values"
+INPUTS = ("x",)
+OUTPUTS = ("y",)
+
+SOURCE = r"""
+/* 6th-order lowpass IIR as a cascade of three biquad sections,
+ * direct form II.  Coefficients follow a Chebyshev type-I design with
+ * 1 dB passband ripple. */
+
+float x[100];
+float y[100];
+
+/* Per-section feed-forward coefficients. */
+float b0[3] = { 0.0605, 0.0730, 0.0912 };
+float b1[3] = { 0.1210, 0.1460, 0.1824 };
+float b2[3] = { 0.0605, 0.0730, 0.0912 };
+
+/* Per-section feedback coefficients (a0 normalized to 1). */
+float a1[3] = { -1.1948, -1.2825, -1.4370 };
+float a2[3] = {  0.4368,  0.5745,  0.8019 };
+
+/* Direct-form-II delay elements for each section. */
+float d1[3];
+float d2[3];
+
+int NSAMP = 100;
+int NSEC = 3;
+
+int main() {
+    int i;
+    int s;
+    for (s = 0; s < NSEC; s++) {
+        d1[s] = 0.0;
+        d2[s] = 0.0;
+    }
+    for (i = 0; i < NSAMP; i++) {
+        float v;
+        v = x[i];
+        for (s = 0; s < NSEC; s++) {
+            float w;
+            w = v - a1[s] * d1[s] - a2[s] * d2[s];
+            v = b0[s] * w + b1[s] * d1[s] + b2[s] * d2[s];
+            d2[s] = d1[s];
+            d1[s] = w;
+        }
+        y[i] = v;
+    }
+    return 0;
+}
+"""
+
+
+def generate_inputs(seed: int = 0):
+    from repro.suite.data import random_floats, rng_for
+    rng = rng_for(NAME, seed)
+    return {"x": random_floats(rng, 100)}

@@ -1,0 +1,151 @@
+"""intfft — 2:1 interpolation using an FFT / inverse-FFT pair.
+
+The 100-sample input is zero-padded to 128 points, transformed, its
+spectrum zero-stuffed into a 256-point spectrum, and inverse-transformed to
+produce the 2:1 interpolated signal.  Exercises a size-parameterized FFT
+and array-parameter passing.
+"""
+
+NAME = "intfft"
+DESCRIPTION = "Interpolate 2:1 using FFT and inverse FFT"
+DATA_DESCRIPTION = "Random array of 100 floating point values"
+INPUTS = ("x",)
+OUTPUTS = ("y",)
+
+SOURCE = r"""
+/* 2:1 band-limited interpolation through the frequency domain:
+ *   X = FFT_128(pad(x));  Y = zero-stuff(X);  y = 2 * IFFT_256(Y).    */
+
+float x[100];            /* input samples */
+float y[256];            /* interpolated output (first 200 meaningful) */
+float re[256];           /* shared FFT working buffers */
+float im[256];
+float xr[128];           /* saved 128-point spectrum */
+float xi[128];
+
+int NIN = 100;
+int NFFT = 128;
+int NOUT = 256;
+float PI = 3.141592653589793;
+
+/* In-place bit reversal over the first n entries of re/im. */
+void bit_reverse(int n) {
+    int i;
+    int j;
+    int bit;
+    j = 0;
+    for (i = 1; i < n; i++) {
+        bit = n >> 1;
+        while ((j & bit) != 0) {
+            j = j ^ bit;
+            bit = bit >> 1;
+        }
+        j = j | bit;
+        if (i < j) {
+            float tr;
+            float ti;
+            tr = re[i];
+            re[i] = re[j];
+            re[j] = tr;
+            ti = im[i];
+            im[i] = im[j];
+            im[j] = ti;
+        }
+    }
+}
+
+/* Radix-2 FFT over the first n entries; inverse != 0 gives the inverse
+ * transform including the 1/n scale. */
+void fft(int n, int inverse) {
+    int len;
+    int half;
+    int i;
+    int k;
+    bit_reverse(n);
+    for (len = 2; len <= n; len = len << 1) {
+        float ang;
+        half = len >> 1;
+        ang = 2.0 * PI / (float) len;
+        if (inverse != 0) {
+            ang = -ang;
+        }
+        for (i = 0; i < n; i += len) {
+            for (k = 0; k < half; k++) {
+                float cr;
+                float ci;
+                float vr;
+                float vi;
+                float ur;
+                float ui;
+                int lo;
+                int hi;
+                cr = cos(ang * (float) k);
+                ci = -sin(ang * (float) k);
+                lo = i + k;
+                hi = lo + half;
+                vr = re[hi] * cr - im[hi] * ci;
+                vi = re[hi] * ci + im[hi] * cr;
+                ur = re[lo];
+                ui = im[lo];
+                re[lo] = ur + vr;
+                im[lo] = ui + vi;
+                re[hi] = ur - vr;
+                im[hi] = ui - vi;
+            }
+        }
+    }
+    if (inverse != 0) {
+        for (i = 0; i < n; i++) {
+            re[i] = re[i] / (float) n;
+            im[i] = im[i] / (float) n;
+        }
+    }
+}
+
+int main() {
+    int i;
+    int half;
+
+    /* Forward 128-point transform of the zero-padded input. */
+    for (i = 0; i < NFFT; i++) {
+        if (i < NIN) {
+            re[i] = x[i];
+        } else {
+            re[i] = 0.0;
+        }
+        im[i] = 0.0;
+    }
+    fft(NFFT, 0);
+    for (i = 0; i < NFFT; i++) {
+        xr[i] = re[i];
+        xi[i] = im[i];
+    }
+
+    /* Zero-stuff into a 256-point spectrum: keep the low half at the
+     * bottom and the high half at the top. */
+    for (i = 0; i < NOUT; i++) {
+        re[i] = 0.0;
+        im[i] = 0.0;
+    }
+    half = NFFT >> 1;
+    for (i = 0; i < half; i++) {
+        re[i] = xr[i];
+        im[i] = xi[i];
+        re[NOUT - half + i] = xr[half + i];
+        im[NOUT - half + i] = xi[half + i];
+    }
+
+    /* Inverse 256-point transform; factor 2 restores the amplitude. */
+    fft(NOUT, 1);
+    for (i = 0; i < NOUT; i++) {
+        y[i] = 2.0 * re[i];
+    }
+    return 0;
+}
+"""
+
+
+def generate_inputs(seed: int = 0):
+    from repro.suite.data import random_floats, rng_for
+    rng = rng_for(NAME, seed)
+    return {"x": random_floats(rng, 100)}

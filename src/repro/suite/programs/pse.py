@@ -1,0 +1,127 @@
+"""pse — power spectral estimation using the FFT (Welch's method).
+
+Three half-overlapping 128-sample segments of the 256-sample input are Hann
+windowed, transformed with an in-place radix-2 FFT, and their squared
+magnitudes averaged into the spectral estimate.
+"""
+
+NAME = "pse"
+DESCRIPTION = "Power spectral estimation using FFT"
+DATA_DESCRIPTION = "Random array of 256 floating point values"
+INPUTS = ("x",)
+OUTPUTS = ("psd",)
+
+SOURCE = r"""
+/* Welch power spectral estimation: 3 segments of 128 samples with 50%
+ * overlap, Hann window, radix-2 decimation-in-time FFT, averaged
+ * periodograms. */
+
+float x[256];            /* input signal */
+float psd[64];           /* one-sided spectral estimate */
+float re[128];           /* FFT working buffers */
+float im[128];
+
+int NINPUT = 256;
+int SEG = 128;
+int NSEGS = 3;
+float PI = 3.141592653589793;
+
+/* In-place bit-reversal permutation of re/im. */
+void bit_reverse() {
+    int i;
+    int j;
+    int bit;
+    j = 0;
+    for (i = 1; i < SEG; i++) {
+        bit = SEG >> 1;
+        while ((j & bit) != 0) {
+            j = j ^ bit;
+            bit = bit >> 1;
+        }
+        j = j | bit;
+        if (i < j) {
+            float tr;
+            float ti;
+            tr = re[i];
+            re[i] = re[j];
+            re[j] = tr;
+            ti = im[i];
+            im[i] = im[j];
+            im[j] = ti;
+        }
+    }
+}
+
+/* Radix-2 decimation-in-time FFT over re/im (forward transform). */
+void fft() {
+    int len;
+    int half;
+    int i;
+    int k;
+    bit_reverse();
+    for (len = 2; len <= SEG; len = len << 1) {
+        float ang;
+        half = len >> 1;
+        ang = 2.0 * PI / (float) len;
+        for (i = 0; i < SEG; i += len) {
+            for (k = 0; k < half; k++) {
+                float cr;
+                float ci;
+                float vr;
+                float vi;
+                float ur;
+                float ui;
+                int lo;
+                int hi;
+                cr = cos(ang * (float) k);
+                ci = -sin(ang * (float) k);
+                lo = i + k;
+                hi = lo + half;
+                vr = re[hi] * cr - im[hi] * ci;
+                vi = re[hi] * ci + im[hi] * cr;
+                ur = re[lo];
+                ui = im[lo];
+                re[lo] = ur + vr;
+                im[lo] = ui + vi;
+                re[hi] = ur - vr;
+                im[hi] = ui - vi;
+            }
+        }
+    }
+}
+
+/* Load one Hann-windowed segment into the FFT buffers. */
+void load_segment(int offset) {
+    int i;
+    for (i = 0; i < SEG; i++) {
+        float w;
+        w = 0.5 - 0.5 * cos(2.0 * PI * (float) i / (float) (SEG - 1));
+        re[i] = x[offset + i] * w;
+        im[i] = 0.0;
+    }
+}
+
+int main() {
+    int s;
+    int k;
+    int offset;
+    for (k = 0; k < 64; k++) {
+        psd[k] = 0.0;
+    }
+    for (s = 0; s < NSEGS; s++) {
+        offset = s * 64;
+        load_segment(offset);
+        fft();
+        for (k = 0; k < 64; k++) {
+            psd[k] += (re[k] * re[k] + im[k] * im[k]) / (float) NSEGS;
+        }
+    }
+    return 0;
+}
+"""
+
+
+def generate_inputs(seed: int = 0):
+    from repro.suite.data import random_floats, rng_for
+    rng = rng_for(NAME, seed)
+    return {"x": random_floats(rng, 256)}

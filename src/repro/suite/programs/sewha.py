@@ -1,0 +1,43 @@
+"""sewha — Sewha's integer FIR filter.
+
+A short symmetric integer FIR with explicitly written taps; the small
+constant coefficients strength-reduce to shift/add combinations, which is
+what makes this benchmark's chain profile (add-multiply, add-add-add in the
+paper's Table 3) almost entirely integer-ALU traffic.
+"""
+
+NAME = "sewha"
+DESCRIPTION = "Sewha's (FIR) filter"
+DATA_DESCRIPTION = "Stream of 100 random integer values"
+INPUTS = ("x",)
+OUTPUTS = ("y",)
+
+SOURCE = r"""
+/* Sewha's filter: 7-tap symmetric integer lowpass, explicit taps. */
+
+int x[100];
+int y[100];
+int N = 100;
+
+int main() {
+    int i;
+    for (i = 0; i < 6; i++) {
+        y[i] = 0;
+    }
+    for (i = 6; i < N; i++) {
+        int acc;
+        acc = x[i] + x[i - 6]
+            + 3 * (x[i - 1] + x[i - 5])
+            + 7 * (x[i - 2] + x[i - 4])
+            + 12 * x[i - 3];
+        y[i] = acc >> 5;
+    }
+    return 0;
+}
+"""
+
+
+def generate_inputs(seed: int = 0):
+    from repro.suite.data import random_ints, rng_for
+    rng = rng_for(NAME, seed)
+    return {"x": random_ints(rng, 100)}

@@ -1,0 +1,51 @@
+"""smooth — 3x3 Gaussian blur lowpass filter on a 24x24 8-bit image."""
+
+NAME = "smooth"
+DESCRIPTION = "3x3 Gaussian blur lowpass filter"
+DATA_DESCRIPTION = "24x24 8-bit image"
+INPUTS = ("img",)
+OUTPUTS = ("out",)
+
+SOURCE = r"""
+/* 3x3 Gaussian smoothing with the binomial kernel
+ *      1 2 1
+ *      2 4 2   / 16
+ *      1 2 1
+ * Border pixels are copied through unchanged. */
+
+int img[24][24];
+int out[24][24];
+int ROWS = 24;
+int COLS = 24;
+
+int main() {
+    int r;
+    int c;
+    for (r = 0; r < ROWS; r++) {
+        for (c = 0; c < COLS; c++) {
+            if (r == 0 || r == ROWS - 1 || c == 0 || c == COLS - 1) {
+                out[r][c] = img[r][c];
+            } else {
+                int acc;
+                acc = img[r - 1][c - 1]
+                    + 2 * img[r - 1][c]
+                    + img[r - 1][c + 1]
+                    + 2 * img[r][c - 1]
+                    + 4 * img[r][c]
+                    + 2 * img[r][c + 1]
+                    + img[r + 1][c - 1]
+                    + 2 * img[r + 1][c]
+                    + img[r + 1][c + 1];
+                out[r][c] = acc >> 4;
+            }
+        }
+    }
+    return 0;
+}
+"""
+
+
+def generate_inputs(seed: int = 0):
+    from repro.suite.data import random_image, rng_for
+    rng = rng_for(NAME, seed)
+    return {"img": random_image(rng)}

@@ -1,0 +1,95 @@
+"""Run the full paper pipeline on one benchmark.
+
+``run_benchmark`` chains every stage of Figure 2 — front end, optimization
+at the requested level, simulation/profiling, sequence detection — and can
+additionally check semantic preservation against the unoptimized program
+(the optimized graph must produce bit-identical outputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.cfg.graph import GraphModule
+from repro.chaining.detect import (DEFAULT_LENGTHS, DetectionResult,
+                                   detect_sequences)
+from repro.errors import OptimizationError
+from repro.frontend import compile_source
+from repro.ir.module import Module
+from repro.opt.pipeline import OptLevel, OptimizationReport, optimize_module
+from repro.sim.machine import MachineResult, run_module
+from repro.suite.registry import BenchmarkSpec
+
+
+@dataclass
+class BenchmarkRun:
+    """Everything one benchmark run produced."""
+
+    spec: BenchmarkSpec
+    level: OptLevel
+    module: Module
+    graph_module: GraphModule
+    opt_report: OptimizationReport
+    machine_result: MachineResult
+    detection: DetectionResult
+
+    @property
+    def cycles(self) -> int:
+        return self.machine_result.cycles
+
+    @property
+    def profile(self):
+        return self.machine_result.profile
+
+    def output_arrays(self) -> Dict[str, list]:
+        return {name: self.machine_result.array(name)
+                for name in self.spec.outputs}
+
+    def __repr__(self) -> str:
+        return (f"<BenchmarkRun {self.spec.name} @ level "
+                f"{int(self.level)}: {self.cycles} cycles>")
+
+
+def compile_benchmark(spec: BenchmarkSpec) -> Module:
+    """Front-end only: compile the benchmark's mini-C source."""
+    return compile_source(spec.source, spec.name, filename=f"{spec.name}.c")
+
+
+def run_benchmark(spec: BenchmarkSpec,
+                  level: OptLevel = OptLevel.NONE,
+                  lengths: Sequence[int] = DEFAULT_LENGTHS,
+                  seed: int = 0,
+                  unroll_factor: int = 2,
+                  check_against: Optional[MachineResult] = None,
+                  module: Optional[Module] = None) -> BenchmarkRun:
+    """Compile, optimize, simulate and analyze one benchmark.
+
+    ``check_against`` (typically the level-0 run's machine result) enables
+    the semantic-preservation oracle: differing outputs raise
+    :class:`~repro.errors.OptimizationError`.  Pass a pre-compiled
+    ``module`` to skip the front end when running several levels.
+    """
+    level = OptLevel(level)
+    if module is None:
+        module = compile_benchmark(spec)
+    graph_module, report = optimize_module(module, level,
+                                           unroll_factor=unroll_factor)
+    inputs = spec.generate_inputs(seed)
+    result = run_module(graph_module, inputs)
+    if check_against is not None:
+        if result.globals_after != check_against.globals_after \
+                or result.return_value != check_against.return_value:
+            raise OptimizationError(
+                f"{spec.name}: level-{int(level)} outputs diverge from the "
+                f"reference run — an optimization broke the program")
+    detection = detect_sequences(graph_module, result.profile, lengths)
+    return BenchmarkRun(
+        spec=spec,
+        level=level,
+        module=module,
+        graph_module=graph_module,
+        opt_report=report,
+        machine_result=result,
+        detection=detection,
+    )

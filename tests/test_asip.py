@@ -1,0 +1,248 @@
+"""ASIP model tests: cost model, ISA, selection, evaluation, exploration."""
+
+import pytest
+
+from repro.asip.cost import DEFAULT_COST_MODEL, CostModel
+from repro.asip.evaluate import evaluate_isa, evaluate_on_sequential
+from repro.asip.explore import explore_designs
+from repro.asip.isa import ChainedInstruction, InstructionSet
+from repro.asip.resequence import resequence_module
+from repro.asip.select import FusedInstruction, select_chains
+from repro.cfg.build import build_module_graphs
+from repro.errors import AsipError
+from repro.frontend import compile_source
+from repro.opt.pipeline import OptLevel, optimize_module
+from repro.sim.machine import run_module
+
+from tests.conftest import FIR_LIKE_SOURCE, fir_like_inputs
+
+MAC_SRC = """
+int x[16]; int h[16]; int out[1];
+int n = 16;
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < n; i++) { s = s + x[i] * h[i]; }
+    out[0] = s;
+    return s;
+}
+"""
+
+MAC_INPUTS = {"x": list(range(16)), "h": [2] * 16}
+
+
+class TestCostModel:
+    def test_chain_area_below_sum_of_units(self):
+        cost = DEFAULT_COST_MODEL
+        pattern = ("multiply", "add")
+        parts = cost.class_area("multiply") + cost.class_area("add")
+        assert 0 < cost.chain_area(pattern) <= \
+            parts + cost.chain_overhead_area
+
+    def test_chain_delay_is_sum(self):
+        cost = DEFAULT_COST_MODEL
+        assert cost.chain_delay(("add", "add")) == \
+            pytest.approx(2 * cost.class_delay("add"))
+
+    def test_short_int_chain_single_cycle(self):
+        assert DEFAULT_COST_MODEL.chain_cycles(("multiply", "add")) == 1
+
+    def test_long_float_chain_multi_cycle(self):
+        pattern = ("fload", "fmultiply", "fadd")
+        assert DEFAULT_COST_MODEL.chain_cycles(pattern) == 2
+        assert DEFAULT_COST_MODEL.cycles_saved_per_traversal(pattern) == 1
+
+    def test_two_float_ops_no_saving(self):
+        pattern = ("fload", "fmultiply")  # 10ns > 8ns cycle: 2 cycles
+        assert DEFAULT_COST_MODEL.cycles_saved_per_traversal(pattern) == 0
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(AsipError):
+            DEFAULT_COST_MODEL.chain_area(("frobnicate", "add"))
+
+    def test_single_op_chain_rejected(self):
+        with pytest.raises(AsipError):
+            DEFAULT_COST_MODEL.chain_area(("add",))
+
+    def test_custom_cycle_time(self):
+        fast = CostModel(cycle_time=3.0)
+        assert fast.chain_cycles(("multiply", "add")) > 1
+
+
+class TestInstructionSet:
+    def test_duplicate_pattern_rejected(self):
+        isa = InstructionSet()
+        isa.add_chain(ChainedInstruction("mac", ("multiply", "add")))
+        with pytest.raises(AsipError):
+            isa.add_chain(ChainedInstruction("mac2", ("multiply", "add")))
+
+    def test_extension_area_sums(self):
+        isa = InstructionSet()
+        isa.add_chain(ChainedInstruction("mac", ("multiply", "add")))
+        isa.add_chain(ChainedInstruction("aa", ("add", "add")))
+        assert isa.extension_area() == \
+            sum(c.area(isa.cost_model) for c in isa.chains)
+
+    def test_from_sequence_names(self):
+        chain = ChainedInstruction.from_sequence(("add", "compare"))
+        assert chain.pattern == ("add", "compare")
+        assert "add" in chain.name
+
+    def test_find(self):
+        isa = InstructionSet()
+        isa.add_chain(ChainedInstruction("mac", ("multiply", "add")))
+        assert isa.find(("multiply", "add")).name == "mac"
+        assert isa.find(("add", "add")) is None
+
+    def test_short_pattern_rejected(self):
+        with pytest.raises(AsipError):
+            ChainedInstruction("one", ("add",))
+
+
+class TestResequence:
+    @pytest.mark.parametrize("level", [1, 2])
+    def test_resequenced_semantics_match(self, level):
+        module = compile_source(FIR_LIKE_SOURCE, "t")
+        gm, _ = optimize_module(module, OptLevel(level))
+        inputs = fir_like_inputs()
+        expected = run_module(gm, inputs)
+        seq = resequence_module(gm)
+        actual = run_module(seq, inputs)
+        assert actual.globals_after == expected.globals_after
+        assert actual.return_value == expected.return_value
+
+    def test_one_op_per_node(self):
+        module = compile_source(FIR_LIKE_SOURCE, "t")
+        gm, _ = optimize_module(module, OptLevel.PIPELINED)
+        seq = resequence_module(gm)
+        for g in seq.graphs.values():
+            for node in g.nodes.values():
+                assert len(node.ops) + (1 if node.control else 0) == 1
+
+    def test_input_graph_not_mutated(self):
+        module = compile_source(FIR_LIKE_SOURCE, "t")
+        gm, _ = optimize_module(module, OptLevel.PIPELINED)
+        before = {nid: (list(n.ops), n.control)
+                  for nid, n in gm.graphs["main"].nodes.items()}
+        resequence_module(gm)
+        after = {nid: (list(n.ops), n.control)
+                 for nid, n in gm.graphs["main"].nodes.items()}
+        assert before == after
+
+
+class TestSelection:
+    def _sequential(self, source):
+        module = compile_source(source, "t")
+        gm, _ = optimize_module(module, OptLevel.PIPELINED)
+        return resequence_module(gm)
+
+    def test_mac_fused(self):
+        seq = self._sequential(MAC_SRC)
+        isa = InstructionSet()
+        isa.add_chain(ChainedInstruction("mac", ("multiply", "add")))
+        fused = seq.copy()
+        stats = select_chains(fused, isa)
+        assert stats.sites.get(("multiply", "add"), 0) >= 1
+        assert stats.nodes_removed >= 1
+
+    def test_fused_run_matches_base(self):
+        seq = self._sequential(MAC_SRC)
+        isa = InstructionSet()
+        isa.add_chain(ChainedInstruction("mac", ("multiply", "add")))
+        fused = seq.copy()
+        select_chains(fused, isa)
+        base = run_module(seq, MAC_INPUTS)
+        chained = run_module(fused, MAC_INPUTS)
+        assert chained.globals_after == base.globals_after
+        assert chained.cycles < base.cycles
+
+    def test_longest_pattern_preferred(self):
+        seq = self._sequential(MAC_SRC)
+        isa = InstructionSet()
+        isa.add_chain(ChainedInstruction("ma", ("multiply", "add")))
+        isa.add_chain(ChainedInstruction("lma",
+                                         ("load", "multiply", "add")))
+        fused = seq.copy()
+        stats = select_chains(fused, isa)
+        if ("load", "multiply", "add") in stats.sites:
+            assert stats.sites[("load", "multiply", "add")] >= 1
+
+    def test_no_match_no_change(self):
+        seq = self._sequential(MAC_SRC)
+        isa = InstructionSet()
+        isa.add_chain(ChainedInstruction("weird", ("divide", "divide")))
+        fused = seq.copy()
+        stats = select_chains(fused, isa)
+        assert stats.total_sites == 0
+        assert stats.nodes_removed == 0
+
+    def test_fused_instruction_accessors(self):
+        seq = self._sequential(MAC_SRC)
+        isa = InstructionSet()
+        isa.add_chain(ChainedInstruction("mac", ("multiply", "add")))
+        fused = seq.copy()
+        select_chains(fused, isa)
+        fused_ops = [ins for g in fused.graphs.values()
+                     for n in g.nodes.values() for ins in n.ops
+                     if isinstance(ins, FusedInstruction)]
+        assert fused_ops
+        for ins in fused_ops:
+            assert len(ins.parts) == 2
+            assert ins.defs()  # intermediate + final destinations
+            assert "mac {" in str(ins)
+
+
+class TestEvaluation:
+    def test_mac_speedup_measured(self):
+        module = compile_source(MAC_SRC, "t")
+        isa = InstructionSet()
+        isa.add_chain(ChainedInstruction("mac", ("multiply", "add")))
+        evaluation = evaluate_isa(module, isa, MAC_INPUTS)
+        assert evaluation.speedup > 1.0
+        assert evaluation.chain_issues.get(("multiply", "add"), 0) > 0
+        assert evaluation.extension_area == isa.extension_area()
+
+    def test_empty_isa_is_identity(self):
+        module = compile_source(MAC_SRC, "t")
+        evaluation = evaluate_isa(module, InstructionSet(), MAC_INPUTS)
+        assert evaluation.speedup == 1.0
+        assert evaluation.cycles_saved == 0
+
+    def test_multicycle_chain_charged(self):
+        # fload-fmultiply takes 2 issue cycles: fusing it buys nothing.
+        src = """
+        float a[8]; float out[8];
+        int main() { int i;
+            for (i = 0; i < 8; i++) { out[i] = a[i] * 2.0; }
+            return 0; }
+        """
+        module = compile_source(src, "t")
+        isa = InstructionSet()
+        isa.add_chain(ChainedInstruction("lf", ("fload", "fmultiply")))
+        evaluation = evaluate_isa(module, isa,
+                                  {"a": [1.0] * 8})
+        assert evaluation.speedup <= 1.0 + 1e-9
+
+
+class TestExploration:
+    def test_explore_finds_positive_speedup(self):
+        module = compile_source(MAC_SRC, "t")
+        result = explore_designs(module, MAC_INPUTS, area_budget=2500,
+                                 max_candidates=5, measure_top=3)
+        assert result.candidates
+        assert result.best is not None
+        assert result.best.speedup > 1.0
+
+    def test_budget_respected(self):
+        module = compile_source(MAC_SRC, "t")
+        budget = 1500
+        result = explore_designs(module, MAC_INPUTS, area_budget=budget,
+                                 max_candidates=5, measure_top=3)
+        for point in result.measured:
+            assert point.area <= budget
+
+    def test_zero_budget_yields_no_candidates(self):
+        module = compile_source(MAC_SRC, "t")
+        result = explore_designs(module, MAC_INPUTS, area_budget=0)
+        assert result.candidates == []
+        assert result.best is None

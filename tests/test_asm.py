@@ -1,0 +1,252 @@
+"""IR assembler tests, including printer round-trips."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.cfg.build import build_module_graphs
+from repro.frontend import compile_source
+from repro.ir.asm import parse_function, parse_module
+from repro.ir.ops import Op
+from repro.ir.printer import format_module
+from repro.ir.verify import verify_module
+from repro.sim.machine import run_module
+
+
+def run_text(text, inputs=None):
+    module = parse_module(text)
+    verify_module(module)
+    return run_module(build_module_graphs(module), inputs)
+
+
+class TestBasicParsing:
+    def test_minimal_module(self):
+        module = parse_module("""
+        module tiny
+        func int main() {
+          t0 = add 1, 2
+          ret t0
+        }
+        """)
+        assert module.name == "tiny"
+        assert run_text(format_module(module)).return_value == 3
+
+    def test_global_scalar(self):
+        result = run_text("""
+        global int n = 42
+        func int main() {
+          t0 = load @n[0]
+          ret t0
+        }
+        """)
+        assert result.return_value == 42
+
+    def test_global_array_with_initializer(self):
+        result = run_text("""
+        global int table[4] = { 5, 6, 7, 8 }
+        func int main() {
+          t0 = load @table[2]
+          ret t0
+        }
+        """)
+        assert result.return_value == 7
+
+    def test_float_registers_inferred(self):
+        fn = parse_function("""
+        func float f(float a) {
+          f0 = fmul a, 2.0
+          ret f0
+        }
+        """)
+        assert fn.params[0].is_float
+        ops = list(fn.instructions())
+        assert ops[0].dest.is_float
+
+    def test_branches_and_labels(self):
+        result = run_text("""
+        func int main() {
+          t0 = cmplt 1, 2
+          br t0, .yes, .no
+        .yes:
+          ret 10
+        .no:
+          ret 20
+        }
+        """)
+        assert result.return_value == 10
+
+    def test_loop_with_jump(self):
+        result = run_text("""
+        func int main() {
+          i = mov 0
+          s = mov 0
+        .head:
+          t0 = cmplt i, 5
+          br t0, .body, .exit
+        .body:
+          s = add s, i
+          i = add i, 1
+          jmp .head
+        .exit:
+          ret s
+        }
+        """)
+        assert result.return_value == 10
+
+    def test_local_arrays(self):
+        result = run_text("""
+        func int main() {
+          local int buf[4]
+          store @buf[1], 9
+          t0 = load @buf[1]
+          ret t0
+        }
+        """)
+        assert result.return_value == 9
+
+    def test_calls_with_array_args(self):
+        result = run_text("""
+        global int data[3] = { 1, 2, 3 }
+        func int total(int a[3]) {
+          t0 = load @a[0]
+          t1 = load @a[1]
+          t2 = load @a[2]
+          t3 = add t0, t1
+          t4 = add t3, t2
+          ret t4
+        }
+        func int main() {
+          t0 = call total(data)
+          ret t0
+        }
+        """)
+        assert result.return_value == 6
+
+    def test_intrinsic(self):
+        result = run_text("""
+        global float out[1]
+        func int main() {
+          f0 = intrin sqrt(9.0)
+          fstore @out[0], f0
+          ret 0
+        }
+        """)
+        assert result.array("out")[0] == 3.0
+
+    def test_comments_ignored(self):
+        module = parse_module("""
+        # a comment
+        // another
+        func int main() {
+          # inside too
+          ret 0
+        }
+        """)
+        assert run_text(format_module(module)).return_value == 0
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(IRError):
+            parse_module("func int main() {\n t0 = frob 1\n ret 0\n}")
+
+    def test_unknown_array(self):
+        with pytest.raises(IRError):
+            parse_module("func int main() {\n t0 = load @ghost[0]\n"
+                         " ret t0\n}")
+
+    def test_register_class_conflict(self):
+        with pytest.raises(IRError):
+            parse_module("""
+            func int main() {
+              t0 = add 1, 2
+              f0 = fadd t0, 1.0
+              ret 0
+            }
+            """)
+
+    def test_store_kind_mismatch(self):
+        with pytest.raises(IRError):
+            parse_module("""
+            global float x[2]
+            func int main() {
+              store @x[0], 1
+              ret 0
+            }
+            """)
+
+    def test_control_cannot_define(self):
+        with pytest.raises(IRError):
+            parse_module("func int main() {\n t0 = jmp .x\n.x:\n ret 0\n}")
+
+    def test_unterminated_function(self):
+        with pytest.raises(IRError):
+            parse_module("func int main() {\n ret 0\n")
+
+    def test_parse_function_requires_single(self):
+        with pytest.raises(IRError):
+            parse_function("""
+            func int a() { ret 0 }
+            """.replace("{ ret 0 }", "{\n ret 0\n}") + """
+            func int b() {
+              ret 1
+            }
+            """)
+
+
+class TestRoundTrip:
+    """print(compile(mini_c)) must re-assemble into an equivalent module."""
+
+    SOURCES = {
+        "arith": """
+            int main() { int a; a = 6; return a * 7 + (a >> 1); }
+        """,
+        "loops": """
+            int x[8];
+            int main() { int i; int s; s = 0;
+                for (i = 0; i < 8; i++) { s += x[i] * 3; }
+                return s; }
+        """,
+        "floats": """
+            float x[4]; float y[4];
+            int main() { int i;
+                for (i = 0; i < 4; i++) { y[i] = x[i] * 2.5 + 1.0; }
+                return 0; }
+        """,
+        "calls": """
+            int square(int v) { return v * v; }
+            int main() { return square(9) + square(2); }
+        """,
+        "initializers": """
+            float h[3] = { 0.25, 0.5, 0.25 };
+            int n = 3;
+            float out[1];
+            int main() { int i; float s; s = 0.0;
+                for (i = 0; i < n; i++) { s += h[i]; }
+                out[0] = s; return 0; }
+        """,
+    }
+
+    INPUTS = {
+        "loops": {"x": [3, 1, 4, 1, 5, 9, 2, 6]},
+        "floats": {"x": [0.5, -1.0, 2.0, 0.0]},
+    }
+
+    @pytest.mark.parametrize("name", sorted(SOURCES))
+    def test_roundtrip(self, name):
+        module = compile_source(self.SOURCES[name], name)
+        inputs = self.INPUTS.get(name)
+        expected = run_module(build_module_graphs(module), inputs)
+
+        text = format_module(module)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        actual = run_module(build_module_graphs(reparsed), inputs)
+
+        assert actual.return_value == expected.return_value
+        assert actual.globals_after == expected.globals_after
+
+    def test_double_roundtrip_is_stable(self):
+        module = compile_source(self.SOURCES["loops"], "loops")
+        once = format_module(parse_module(format_module(module)))
+        twice = format_module(parse_module(once))
+        assert once == twice

@@ -1,0 +1,128 @@
+"""CLI tests (fast paths only; the heavy study command is covered by the
+benchmark harness)."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_levels_parsing(self):
+        args = build_parser().parse_args(["study", "--levels", "2,0,0"])
+        assert args.levels == (0, 2)
+
+
+class TestList:
+    def test_lists_all_twelve(self):
+        code, text = run_cli("list")
+        assert code == 0
+        assert len(text.strip().splitlines()) == 12
+        assert "fir" in text and "feowf" in text
+
+
+class TestAnalyze:
+    KERNEL = """
+    int x[16];
+    int y[16];
+    int n = 16;
+    int main() {
+        int i;
+        for (i = 0; i < n; i++) { y[i] = x[i] * 3 + 1; }
+        return 0;
+    }
+    """
+
+    @pytest.fixture()
+    def kernel_file(self, tmp_path):
+        path = tmp_path / "kernel.c"
+        path.write_text(self.KERNEL)
+        return str(path)
+
+    def test_analyze_reports_sequences(self, kernel_file):
+        code, text = run_cli("analyze", kernel_file, "--lengths", "2,3")
+        assert code == 0
+        assert "multiply-add" in text
+        assert "coverage" in text
+
+    def test_analyze_level0(self, kernel_file):
+        code, text = run_cli("analyze", kernel_file, "--level", "0")
+        assert code == 0
+        assert "level 0" in text
+
+    def test_analyze_missing_file(self):
+        code, _text = run_cli("analyze", "/nonexistent/path.c")
+        assert code == 2
+
+    def test_analyze_bad_source(self, tmp_path):
+        path = tmp_path / "bad.c"
+        path.write_text("int main( {")
+        code, _text = run_cli("analyze", str(path))
+        assert code == 2
+
+    def test_analyze_seed_changes_inputs_not_structure(self, kernel_file):
+        _code, a = run_cli("analyze", kernel_file, "--seed", "1")
+        _code, b = run_cli("analyze", kernel_file, "--seed", "2")
+        # Same static structure: same sequence names.
+        names_a = {line.split()[0] for line in a.splitlines()
+                   if "%" in line}
+        names_b = {line.split()[0] for line in b.splitlines()
+                   if "%" in line}
+        assert names_a == names_b
+
+
+class TestExplore:
+    def test_explore_sewha(self):
+        code, text = run_cli("explore", "sewha", "--budget", "1500")
+        assert code == 0
+        assert "best measured design" in text
+        assert "x" in text  # speedup figure
+
+    def test_explore_unknown_benchmark(self):
+        code, _text = run_cli("explore", "nope")
+        assert code == 2
+
+
+class TestTables:
+    def test_table1_fast_path(self):
+        code, text = run_cli("tables", "1")
+        assert code == 0
+        assert "Table 1" in text
+
+    def test_table2_on_subset(self):
+        code, text = run_cli("tables", "2", "--benchmarks", "sewha,dft")
+        assert code == 0
+        assert "multiply-add" in text
+
+
+class TestReport:
+    def test_report_to_file(self, tmp_path):
+        out_file = tmp_path / "report.md"
+        code, text = run_cli("report", "--benchmarks", "sewha,dft",
+                             "--output", str(out_file))
+        assert code == 0
+        assert "written to" in text
+        content = out_file.read_text()
+        assert content.startswith("# Study report")
+        assert "## Iterative coverage" in content
+
+    def test_report_to_stdout(self):
+        code, text = run_cli("report", "--benchmarks", "dft",
+                             "--levels", "0,1")
+        assert code == 0
+        assert "## Cycle counts" in text

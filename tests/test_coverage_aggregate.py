@@ -1,0 +1,142 @@
+"""Coverage-analysis (paper §7) and cross-benchmark aggregation tests."""
+
+import pytest
+
+from repro.chaining.aggregate import combine_results
+from repro.chaining.coverage import analyze_coverage
+from repro.chaining.detect import detect_sequences
+from repro.chaining.sequence import (DetectedSequence, Occurrence,
+                                     sequence_label)
+from repro.frontend import compile_source
+from repro.opt.pipeline import OptLevel, optimize_module
+from repro.sim.machine import run_module
+
+from tests.conftest import FIR_LIKE_SOURCE, fir_like_inputs
+
+
+def prepare(source, inputs=None, level=1):
+    module = compile_source(source, "t")
+    gm, _ = optimize_module(module, OptLevel(level))
+    result = run_module(gm, inputs)
+    return gm, result.profile
+
+
+class TestSequenceRecords:
+    def test_label_format(self):
+        assert sequence_label(("multiply", "add")) == "multiply-add"
+        assert sequence_label(("fload", "fmultiply", "fadd")) == \
+            "fload-fmultiply-fadd"
+
+    def test_occurrence_accessors(self):
+        occ = Occurrence("main", ((1, 10), (2, 11)), count=5)
+        assert occ.length == 2
+        assert occ.uids == (10, 11)
+        assert occ.nodes == (1, 2)
+
+    def test_detected_sequence_totals(self):
+        seq = DetectedSequence(("add", "add"))
+        seq.add(Occurrence("main", ((1, 10), (2, 11)), count=5))
+        seq.add(Occurrence("main", ((3, 12), (4, 13)), count=7))
+        assert seq.total_count == 12
+        assert seq.cycles_accounted == 24
+        assert seq.site_count == 2
+
+    def test_length_mismatch_rejected(self):
+        seq = DetectedSequence(("add", "add"))
+        with pytest.raises(ValueError):
+            seq.add(Occurrence("main", ((1, 10),), count=1))
+
+
+class TestCoverage:
+    def test_coverage_monotone_nonoverlapping(self):
+        gm, profile = prepare(FIR_LIKE_SOURCE, fir_like_inputs())
+        report = analyze_coverage(gm, profile, threshold=2.0)
+        assert report.steps
+        assert 0 < report.coverage <= 100.0
+        # Greedy order: detector frequency non-increasing is not guaranteed
+        # after exclusion, but contributions must all be positive.
+        assert all(step.contribution > 0 for step in report.steps)
+
+    def test_threshold_stops_iteration(self):
+        gm, profile = prepare(FIR_LIKE_SOURCE, fir_like_inputs())
+        strict = analyze_coverage(gm, profile, threshold=30.0)
+        loose = analyze_coverage(gm, profile, threshold=2.0)
+        assert len(strict.steps) <= len(loose.steps)
+        for step in strict.steps:
+            assert step.frequency >= 30.0
+
+    def test_max_sequences_cap(self):
+        gm, profile = prepare(FIR_LIKE_SOURCE, fir_like_inputs())
+        capped = analyze_coverage(gm, profile, threshold=0.5,
+                                  max_sequences=2)
+        assert len(capped.steps) <= 2
+
+    def test_optimized_coverage_beats_unoptimized(self):
+        """The paper's Table-3 headline: optimization raises coverage."""
+        gm0, profile0 = prepare(FIR_LIKE_SOURCE, fir_like_inputs(),
+                                level=0)
+        gm1, profile1 = prepare(FIR_LIKE_SOURCE, fir_like_inputs(),
+                                level=1)
+        cov0 = analyze_coverage(gm0, profile0)
+        cov1 = analyze_coverage(gm1, profile1)
+        assert cov1.coverage > cov0.coverage
+
+    def test_picked_sequences_disjoint(self):
+        gm, profile = prepare(FIR_LIKE_SOURCE, fir_like_inputs())
+        report = analyze_coverage(gm, profile, threshold=1.0)
+        # Re-derive: total contribution can never exceed 100%.
+        assert report.coverage <= 100.0 + 1e-9
+
+    def test_empty_program_coverage(self):
+        gm, profile = prepare("int main() { return 0; }")
+        report = analyze_coverage(gm, profile)
+        assert report.steps == []
+        assert report.coverage == 0.0
+
+
+class TestAggregation:
+    def _detections(self):
+        gm1, profile1 = prepare(
+            "int x[8]; int main() { int i; int s; s = 0; "
+            "for (i = 0; i < 8; i++) { s += x[i] * 3; } return s; }",
+            {"x": list(range(8))}, level=0)
+        det1 = detect_sequences(gm1, profile1, (2,))
+        gm2, profile2 = prepare(
+            "int x[4]; int out[4]; int main() { int i; "
+            "for (i = 0; i < 4; i++) { out[i] = x[i] + 1; } return 0; }",
+            {"x": [1, 2, 3, 4]}, level=0)
+        det2 = detect_sequences(gm2, profile2, (2,))
+        return det1, det2
+
+    def test_total_ops_summed(self):
+        det1, det2 = self._detections()
+        combined = combine_results([("a", det1), ("b", det2)])
+        assert combined.total_ops == det1.total_ops + det2.total_ops
+        assert combined.benchmarks == ["a", "b"]
+
+    def test_combined_frequency_is_weighted(self):
+        det1, det2 = self._detections()
+        combined = combine_results([("a", det1), ("b", det2)])
+        name = ("multiply", "add")
+        seq = det1.sequences[2].get(name)
+        if seq is not None:
+            expected = 100.0 * seq.cycles_accounted / combined.total_ops
+            assert combined.frequency(name) == pytest.approx(expected)
+
+    def test_series_sorted_descending(self):
+        det1, det2 = self._detections()
+        combined = combine_results([("a", det1), ("b", det2)])
+        series = combined.series(2)
+        assert series == sorted(series, reverse=True)
+
+    def test_top_filters_by_length(self):
+        det1, det2 = self._detections()
+        combined = combine_results([("a", det1), ("b", det2)])
+        for name, _freq in combined.top(2):
+            assert len(name) == 2
+
+    def test_empty_combination(self):
+        combined = combine_results([])
+        assert combined.total_ops == 0
+        assert combined.frequency(("add", "add")) == 0.0
+        assert combined.series(2) == []

@@ -1,0 +1,188 @@
+"""Sequence-detection tests: data flow, adjacency, branch-and-bound."""
+
+import pytest
+
+from repro.cfg.build import build_module_graphs
+from repro.chaining.detect import SequenceDetector, detect_sequences
+from repro.chaining.sequence import sequence_label
+from repro.frontend import compile_source
+from repro.opt.pipeline import OptLevel, optimize_module
+from repro.sim.machine import run_module
+
+from tests.conftest import (FIR_LIKE_SOURCE, INT_KERNEL_SOURCE,
+                            fir_like_inputs, int_kernel_inputs)
+
+
+def detect_for(source, inputs=None, level=0, lengths=(2, 3, 4, 5),
+               **kwargs):
+    module = compile_source(source, "t")
+    gm, _ = optimize_module(module, OptLevel(level))
+    result = run_module(gm, inputs)
+    return detect_sequences(gm, result.profile, lengths, **kwargs), gm
+
+
+class TestBasicDetection:
+    def test_multiply_add_detected(self):
+        det, _ = detect_for(
+            "int x[4]; int main() { return x[0] * 3 + 1; }",
+            {"x": [2, 0, 0, 0]})
+        assert det.frequency(("multiply", "add")) > 0
+
+    def test_chain_requires_dataflow(self):
+        # Adjacency alone is not enough: the add executes right before the
+        # multiply here but does not feed it, so add-multiply must not be
+        # reported; the multiply feeding the xor in the next cycle is.
+        det, _ = detect_for(
+            "int x[4]; int main() { return (x[1] + 1) ^ (x[0] * 3); }",
+            {"x": [2, 5, 0, 0]})
+        assert det.frequency(("multiply", "add")) == 0.0
+        assert det.frequency(("add", "multiply")) == 0.0
+        assert det.frequency(("multiply", "logic")) > 0
+
+    def test_address_dataflow_counts(self):
+        # add feeding a load's index is a chain (add-load).
+        det, _ = detect_for(
+            "int x[8]; int main() { int i; i = 2; return x[i + 1]; }")
+        assert det.frequency(("add", "load")) > 0
+
+    def test_store_terminates_chain(self):
+        det, _ = detect_for(
+            "int out[2]; int main() { out[0] = 3 * 7; return 0; }")
+        for seq in det.all_sequences():
+            if "store" in seq.name:
+                assert seq.name[-1] == "store"
+
+    def test_moves_never_in_chains(self):
+        det, _ = detect_for(FIR_LIKE_SOURCE, fir_like_inputs(), level=0)
+        for seq in det.all_sequences():
+            assert None not in seq.name
+
+    def test_lengths_respected(self):
+        det, _ = detect_for(INT_KERNEL_SOURCE, int_kernel_inputs(),
+                            lengths=(3,))
+        assert set(det.sequences) <= {3}
+        for seq in det.all_sequences():
+            assert seq.length == 3
+
+    def test_length_below_two_rejected(self):
+        module = compile_source("int main() { return 0; }", "t")
+        gm, _ = optimize_module(module, OptLevel.NONE)
+        result = run_module(gm)
+        with pytest.raises(ValueError):
+            SequenceDetector(gm, result.profile, lengths=(1, 2))
+
+    def test_unexecuted_function_skipped(self):
+        det, _ = detect_for(
+            "int unused(int v) { return v * 2 + 1; } "
+            "int main() { return 0; }")
+        assert det.frequency(("multiply", "add")) == 0.0
+
+
+class TestOccurrenceAccounting:
+    def test_occurrence_count_matches_loop_trips(self):
+        det, _ = detect_for(
+            "int x[10]; int y[10]; int main() { int i; "
+            "for (i = 0; i < 10; i++) { y[i] = x[i] * 5 + 2; } "
+            "return 0; }", {"x": list(range(10))})
+        seq = det.sequences[2][("multiply", "add")]
+        assert seq.total_count == 10
+
+    def test_frequency_uses_op_executions(self):
+        det, _ = detect_for(
+            "int x[4]; int main() { return x[0] * 3 + 1; }",
+            {"x": [2, 0, 0, 0]})
+        seq = det.sequences[2][("multiply", "add")]
+        expected = 100.0 * seq.cycles_accounted / det.total_ops
+        assert det.frequency(("multiply", "add")) == \
+            pytest.approx(expected)
+
+    def test_top_sorted_descending(self):
+        det, _ = detect_for(FIR_LIKE_SOURCE, fir_like_inputs(), level=1)
+        top = det.top(2)
+        freqs = [f for _, f in top]
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_longer_chains_subsume_short_prefix(self):
+        # A 3-chain's prefix is also reported as a 2-chain.
+        det, _ = detect_for(
+            "int x[4]; int out[1]; int main() "
+            "{ out[0] = (x[0] * 3 + 1) * 1; return 0; }",
+            {"x": [2, 0, 0, 0]}, lengths=(2, 3))
+        assert det.frequency(("multiply", "add")) > 0
+
+
+class TestBranchAndBound:
+    def test_min_count_prunes(self):
+        exhaustive, _ = detect_for(FIR_LIKE_SOURCE, fir_like_inputs(),
+                                   level=1)
+        module = compile_source(FIR_LIKE_SOURCE, "t")
+        gm, _ = optimize_module(module, OptLevel.PIPELINED)
+        result = run_module(gm, fir_like_inputs())
+        bounded = detect_sequences(gm, result.profile, (2, 3, 4, 5),
+                                   min_count=100)
+        assert bounded.stats.subtrees_pruned > 0
+        assert bounded.stats.extensions_explored <= \
+            exhaustive.stats.extensions_explored
+        assert bounded.stats.occurrences_found < \
+            exhaustive.stats.occurrences_found
+        for seq in bounded.all_sequences():
+            assert all(occ.count >= 100 for occ in seq.occurrences)
+
+    def test_bound_is_safe(self):
+        """Pruning with min_count never loses sequences above the bound."""
+        module = compile_source(FIR_LIKE_SOURCE, "t")
+        gm, _ = optimize_module(module, OptLevel.PIPELINED)
+        result = run_module(gm, fir_like_inputs())
+        exhaustive = detect_sequences(gm, result.profile, (2, 3))
+        bounded = detect_sequences(gm, result.profile, (2, 3),
+                                   min_count=20)
+        for seq in exhaustive.all_sequences():
+            heavy = [o for o in seq.occurrences if o.count >= 20]
+            if not heavy:
+                continue
+            found = bounded.sequences[seq.length].get(seq.name)
+            assert found is not None, sequence_label(seq.name)
+            heavy_found = {o.path for o in found.occurrences}
+            assert {o.path for o in heavy}.issubset(heavy_found)
+
+    def test_excluded_uids_ignored(self):
+        module = compile_source(
+            "int x[4]; int main() { return x[0] * 3 + 1; }", "t")
+        gm, _ = optimize_module(module, OptLevel.NONE)
+        result = run_module(gm, {"x": [2, 0, 0, 0]})
+        full = detect_sequences(gm, result.profile, (2,))
+        seq = full.sequences[2][("multiply", "add")]
+        excluded = set(seq.occurrences[0].uids)
+        filtered = detect_sequences(gm, result.profile, (2,),
+                                    excluded_uids=excluded)
+        assert ("multiply", "add") not in filtered.sequences.get(2, {})
+
+
+class TestOptimizationLevels:
+    def test_level1_detects_at_least_as_many_names(self):
+        det0, _ = detect_for(FIR_LIKE_SOURCE, fir_like_inputs(), level=0,
+                             lengths=(2,))
+        det1, _ = detect_for(FIR_LIKE_SOURCE, fir_like_inputs(), level=1,
+                             lengths=(2,))
+        assert len(det1.sequences.get(2, {})) >= \
+            len(det0.sequences.get(2, {}))
+
+    def test_cross_iteration_sequence_appears_at_level1(self):
+        # The loop-carried index add feeding next iteration's subtract is
+        # only adjacent after pipelining.
+        det0, _ = detect_for(FIR_LIKE_SOURCE, fir_like_inputs(), level=0,
+                             lengths=(2,))
+        det1, _ = detect_for(FIR_LIKE_SOURCE, fir_like_inputs(), level=1,
+                             lengths=(2,))
+        gain = det1.frequency(("add", "subtract")) \
+            - det0.frequency(("add", "subtract"))
+        assert gain > 1.0
+
+    def test_renaming_reduces_detection(self):
+        det1, _ = detect_for(FIR_LIKE_SOURCE, fir_like_inputs(), level=1,
+                             lengths=(2,))
+        det2, _ = detect_for(FIR_LIKE_SOURCE, fir_like_inputs(), level=2,
+                             lengths=(2,))
+        total1 = sum(f for _, f in det1.top(2))
+        total2 = sum(f for _, f in det2.top(2))
+        assert total2 < total1

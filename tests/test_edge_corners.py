@@ -1,0 +1,174 @@
+"""Corner-case tests accumulated from review: builder coercions, study
+configuration edges, detector self-loops, coverage exclusion interplay."""
+
+import pytest
+
+from repro.cfg.build import build_module_graphs
+from repro.cfg.graph import GraphModule, ProgramGraph
+from repro.chaining.detect import detect_sequences
+from repro.errors import IRError
+from repro.frontend import compile_source
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instr import Instruction
+from repro.ir.ops import Op
+from repro.ir.values import Constant, VirtualReg
+from repro.opt.pipeline import OptLevel, optimize_module
+from repro.sim.machine import run_module
+
+
+class TestBuilderCoercions:
+    def make(self):
+        fn = Function("f", return_type="int")
+        return fn, IRBuilder(fn)
+
+    def test_python_int_becomes_int_constant(self):
+        _fn, b = self.make()
+        dest = b.binary(Op.ADD, 1, 2)
+        assert not dest.is_float
+
+    def test_python_float_to_float_op(self):
+        fn, b = self.make()
+        b.binary(Op.FADD, 1, 2)  # ints coerced to float constants
+        ins = next(fn.instructions())
+        assert all(s.is_float for s in ins.srcs)
+
+    def test_bool_becomes_int(self):
+        fn, b = self.make()
+        b.move(True)
+        ins = next(fn.instructions())
+        assert ins.srcs[0] == Constant(1, False)
+
+    def test_bad_operand_rejected(self):
+        _fn, b = self.make()
+        with pytest.raises(IRError):
+            b.binary(Op.ADD, "nope", 1)
+
+    def test_move_infers_class_from_source(self):
+        _fn, b = self.make()
+        f = b.binary(Op.FADD, 1.0, 2.0)
+        copy = b.move(f)
+        assert copy.is_float
+
+
+class TestDetectorSelfLoop:
+    def test_single_node_loop_chain_across_iterations(self):
+        """A compacted one-node loop: producer feeds the consumer of the
+        *next* iteration through the self edge."""
+        g = ProgramGraph("main")
+        i = VirtualReg("i")
+        t = VirtualReg("t")
+        init = g.new_node()
+        init.ops.append(Instruction(Op.MOV, dest=i, srcs=(Constant(0),)))
+        cond_init = VirtualReg("c")
+        init.ops.append(Instruction(Op.MOV, dest=cond_init,
+                                    srcs=(Constant(1),)))
+        body = g.new_node()
+        # One cycle: t = i * 3 (uses last cycle's i), i = i + 1, branch.
+        body.ops.append(Instruction(Op.MUL, dest=t,
+                                    srcs=(i, Constant(3))))
+        body.ops.append(Instruction(Op.ADD, dest=i,
+                                    srcs=(i, Constant(1),)))
+        cond = VirtualReg("c")
+        body.ops.append(Instruction(Op.CMPLT, dest=cond,
+                                    srcs=(i, Constant(50))))
+        body.control = Instruction(Op.BR, srcs=(cond,), true_label="b",
+                                   false_label="x")
+        exit_node = g.new_node()
+        exit_node.control = Instruction(Op.RET, srcs=(t,))
+        g.add_edge(init.id, body.id)
+        g.add_edge(body.id, body.id)  # self loop (true arm)
+        g.add_edge(body.id, exit_node.id)
+        g.entry = init.id
+
+        gm = GraphModule("m", {"main": g}, {}, {}, {})
+        result = run_module(gm)
+        detection = detect_sequences(gm, result.profile, (2,))
+        # i's increment feeds next iteration's multiply and compare.
+        assert detection.frequency(("add", "multiply")) > 0
+        assert detection.frequency(("add", "compare")) > 0
+
+
+class TestStudyConfigEdges:
+    def test_single_level_study(self):
+        from repro.feedback.study import StudyConfig, run_study
+        study = run_study(StudyConfig(benchmarks=("dft",), levels=(1,)))
+        bench = study.benchmark("dft")
+        assert sorted(int(l) for l in bench.runs) == [1]
+        combined = study.combined(1)
+        assert combined.total_ops > 0
+
+    def test_study_without_verification(self):
+        from repro.feedback.study import StudyConfig, run_study
+        study = run_study(StudyConfig(benchmarks=("dft",), levels=(0, 2),
+                                      verify=False))
+        assert set(int(l) for l in study.benchmark("dft").runs) == {0, 2}
+
+    def test_different_seeds_change_profiles(self):
+        from repro.feedback.study import StudyConfig, run_study
+        a = run_study(StudyConfig(benchmarks=("sewha",), levels=(0,),
+                                  seed=1))
+        b = run_study(StudyConfig(benchmarks=("sewha",), levels=(0,),
+                                  seed=2))
+        # Same static structure, same cycle count shape, different data.
+        ra = a.benchmark("sewha").run_at(0).machine_result
+        rb = b.benchmark("sewha").run_at(0).machine_result
+        assert ra.array("y") != rb.array("y")
+
+
+class TestCoverageExclusionInterplay:
+    def test_excluded_prefix_blocks_longer_chain(self):
+        src = """
+        int x[8]; int out[8];
+        int main() { int i;
+            for (i = 0; i < 8; i++) { out[i] = x[i] * 3 + 1; }
+            return 0; }
+        """
+        gm, _ = optimize_module(compile_source(src, "t"), OptLevel.NONE)
+        result = run_module(gm, {"x": list(range(8))})
+        full = detect_sequences(gm, result.profile, (2, 3))
+        three = full.sequences[3][("multiply", "add", "store")]
+        # Exclude the multiply: both the 2-chain and 3-chain disappear.
+        mul_uids = {occ.uids[0] for occ in three.occurrences}
+        filtered = detect_sequences(gm, result.profile, (2, 3),
+                                    excluded_uids=mul_uids)
+        assert ("multiply", "add") not in filtered.sequences.get(2, {})
+        assert ("multiply", "add", "store") not in \
+            filtered.sequences.get(3, {})
+        # But add-store (not involving the multiply) survives.
+        assert ("add", "store") in filtered.sequences.get(2, {})
+
+
+class TestUnreachableCodeHandling:
+    def test_code_after_return_pruned(self):
+        src = """
+        int main() {
+            int a;
+            a = 1;
+            return a;
+        }
+        """
+        gm = build_module_graphs(compile_source(src, "t"))
+        graph = gm.graphs["main"]
+        assert graph.reachable() == set(graph.nodes)
+
+    def test_dead_branch_still_simulates(self):
+        src = """
+        int main() {
+            int a; a = 5;
+            if (0 == 1) { a = 99; }
+            return a;
+        }
+        """
+        from tests.conftest import run_all_levels
+        assert run_all_levels(src).return_value == 5
+
+    def test_loop_never_entered(self):
+        src = """
+        int x[4];
+        int main() { int i; int s; s = 0;
+            for (i = 10; i < 4; i++) { s += x[i]; }
+            return s; }
+        """
+        from tests.conftest import run_all_levels
+        assert run_all_levels(src).return_value == 0

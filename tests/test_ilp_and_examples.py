@@ -1,0 +1,64 @@
+"""ILP characterization tests and example-script smoke tests."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.feedback.ilp import (characterize_ilp, render_ilp_table,
+                                suite_ilp_summary)
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestIlp:
+    def test_rows_cover_matrix(self, mini_study):
+        rows = characterize_ilp(mini_study)
+        assert len(rows) == 3 * 3  # 3 benchmarks x 3 levels
+        assert {r.benchmark for r in rows} == {"sewha", "bspline", "dft"}
+
+    def test_level0_ilp_at_most_one(self, mini_study):
+        for row in characterize_ilp(mini_study):
+            if row.level == 0:
+                assert row.ilp <= 1.0
+
+    def test_level1_ilp_above_level0(self, mini_study):
+        rows = characterize_ilp(mini_study)
+        by_bench = {}
+        for row in rows:
+            by_bench.setdefault(row.benchmark, {})[row.level] = row
+        for name, levels in by_bench.items():
+            assert levels[1].ilp > levels[0].ilp, name
+            assert levels[1].speedup > 1.0, name
+
+    def test_speedup_baseline_is_level0(self, mini_study):
+        for row in characterize_ilp(mini_study):
+            if row.level == 0:
+                assert row.speedup == pytest.approx(1.0)
+
+    def test_summary_aggregates(self, mini_study):
+        rows = characterize_ilp(mini_study)
+        summary = suite_ilp_summary(rows)
+        assert set(summary) == {0, 1, 2}
+        assert summary[1] > summary[0]
+
+    def test_render_table(self, mini_study):
+        text = render_ilp_table(characterize_ilp(mini_study))
+        assert "ILP" in text and "sewha" in text
+        assert text.count("x") >= 9  # a speedup column entry per row
+
+
+@pytest.mark.parametrize("script,args", [
+    ("quickstart.py", []),
+    ("asip_designer.py", ["dft", "2000"]),
+    ("custom_benchmark.py", []),
+    ("dsp_suite_study.py", []),
+])
+def test_example_runs(script, args):
+    """Every example must run to completion from a clean interpreter."""
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()

@@ -1,0 +1,336 @@
+"""End-to-end integration tests: mini-C programs with computed expected
+results, checked at every optimization level."""
+
+import math
+
+import pytest
+
+from tests.conftest import compile_and_run, run_all_levels
+
+
+class TestNumericPrograms:
+    def test_gcd(self):
+        src = """
+        int gcd(int a, int b) {
+            while (b != 0) { int t; t = b; b = a % b; a = t; }
+            return a;
+        }
+        int main() { return gcd(462, 1071); }
+        """
+        assert run_all_levels(src).return_value == 21
+
+    def test_fibonacci_iterative(self):
+        src = """
+        int main() {
+            int a; int b; int i;
+            a = 0; b = 1;
+            for (i = 0; i < 20; i++) { int t; t = a + b; a = b; b = t; }
+            return a;
+        }
+        """
+        assert run_all_levels(src).return_value == 6765
+
+    def test_collatz_steps(self):
+        src = """
+        int main() {
+            int n; int steps;
+            n = 27; steps = 0;
+            while (n != 1) {
+                if (n % 2 == 0) { n = n / 2; }
+                else { n = 3 * n + 1; }
+                steps++;
+            }
+            return steps;
+        }
+        """
+        assert run_all_levels(src).return_value == 111
+
+    def test_integer_sqrt(self):
+        src = """
+        int isqrt(int n) {
+            int r;
+            r = 0;
+            while ((r + 1) * (r + 1) <= n) { r++; }
+            return r;
+        }
+        int main() { return isqrt(1000000) + isqrt(99); }
+        """
+        assert run_all_levels(src).return_value == 1000 + 9
+
+    def test_prime_count_sieve(self):
+        src = """
+        int flags[100];
+        int main() {
+            int i; int j; int count;
+            for (i = 0; i < 100; i++) { flags[i] = 1; }
+            flags[0] = 0; flags[1] = 0;
+            for (i = 2; i < 100; i++) {
+                if (flags[i] == 1) {
+                    for (j = i + i; j < 100; j += i) { flags[j] = 0; }
+                }
+            }
+            count = 0;
+            for (i = 0; i < 100; i++) { count += flags[i]; }
+            return count;
+        }
+        """
+        assert run_all_levels(src).return_value == 25
+
+    def test_matrix_multiply(self):
+        src = """
+        int a[3][3];
+        int b[3][3];
+        int c[3][3];
+        int main() {
+            int i; int j; int k;
+            for (i = 0; i < 3; i++) {
+                for (j = 0; j < 3; j++) {
+                    a[i][j] = i + j;
+                    b[i][j] = i * 3 + j;
+                }
+            }
+            for (i = 0; i < 3; i++) {
+                for (j = 0; j < 3; j++) {
+                    int s; s = 0;
+                    for (k = 0; k < 3; k++) { s += a[i][k] * b[k][j]; }
+                    c[i][j] = s;
+                }
+            }
+            return c[2][2];
+        }
+        """
+        # a[2][k] = 2+k; b[k][2] = 3k+2; sum = 2*2+3*5+4*8 = 51
+        assert run_all_levels(src).return_value == 51
+
+    def test_horner_polynomial(self):
+        src = """
+        float c[4] = { 2.0, -1.0, 0.5, 3.0 };
+        float out[1];
+        int main() {
+            float x; float acc; int i;
+            x = 2.0;
+            acc = 0.0;
+            for (i = 0; i < 4; i++) { acc = acc * x + c[i]; }
+            out[0] = acc;
+            return 0;
+        }
+        """
+        expected = ((2.0 * 2 - 1.0) * 2 + 0.5) * 2 + 3.0
+        result = run_all_levels(src)
+        assert result.globals_after["out"][0] == pytest.approx(expected)
+
+    def test_newton_sqrt(self):
+        src = """
+        float out[1];
+        int main() {
+            float x; float guess; int i;
+            x = 2.0;
+            guess = 1.0;
+            for (i = 0; i < 8; i++) {
+                guess = (guess + x / guess) / 2.0;
+            }
+            out[0] = guess;
+            return 0;
+        }
+        """
+        result = run_all_levels(src)
+        assert result.globals_after["out"][0] == \
+            pytest.approx(math.sqrt(2.0))
+
+    def test_ackermann_small(self):
+        src = """
+        int ack(int m, int n) {
+            if (m == 0) { return n + 1; }
+            if (n == 0) { return ack(m - 1, 1); }
+            return ack(m - 1, ack(m, n - 1));
+        }
+        int main() { return ack(2, 3); }
+        """
+        assert run_all_levels(src).return_value == 9
+
+    def test_string_of_bits(self):
+        src = """
+        int main() {
+            int x; int count;
+            x = 1234567;
+            count = 0;
+            while (x != 0) { count += x & 1; x = x >> 1; }
+            return count;
+        }
+        """
+        assert run_all_levels(src).return_value == bin(1234567).count("1")
+
+
+class TestInputDrivenPrograms:
+    def test_running_maximum(self):
+        src = """
+        int x[10];
+        int y[10];
+        int main() {
+            int i; int best;
+            best = x[0];
+            y[0] = best;
+            for (i = 1; i < 10; i++) {
+                if (x[i] > best) { best = x[i]; }
+                y[i] = best;
+            }
+            return best;
+        }
+        """
+        data = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3]
+        result = run_all_levels(src, {"x": data})
+        expected = [max(data[:i + 1]) for i in range(10)]
+        assert result.globals_after["y"] == expected
+
+    def test_dot_product(self):
+        src = """
+        float a[6];
+        float b[6];
+        float out[1];
+        int main() {
+            int i; float s;
+            s = 0.0;
+            for (i = 0; i < 6; i++) { s += a[i] * b[i]; }
+            out[0] = s;
+            return 0;
+        }
+        """
+        a = [1.0, -2.0, 3.0, 0.5, 0.0, 4.0]
+        b = [2.0, 2.0, 1.0, 4.0, 9.0, -1.0]
+        result = run_all_levels(src, {"a": a, "b": b})
+        assert result.globals_after["out"][0] == pytest.approx(
+            sum(x * y for x, y in zip(a, b)))
+
+    def test_insertion_sort(self):
+        src = """
+        int x[12];
+        int main() {
+            int i; int j;
+            for (i = 1; i < 12; i++) {
+                int key;
+                key = x[i];
+                j = i - 1;
+                while (j >= 0 && x[j] > key) {
+                    x[j + 1] = x[j];
+                    j = j - 1;
+                }
+                x[j + 1] = key;
+            }
+            return x[0];
+        }
+        """
+        data = [9, -3, 5, 0, 7, 7, 2, -8, 1, 4, 6, -1]
+        result = run_all_levels(src, {"x": data})
+        assert result.globals_after["x"] == sorted(data)
+
+    def test_saturating_accumulate(self):
+        src = """
+        int x[16];
+        int main() {
+            int i; int acc;
+            acc = 0;
+            for (i = 0; i < 16; i++) {
+                acc = acc + x[i];
+                if (acc > 100) { acc = 100; }
+                if (acc < -100) { acc = -100; }
+            }
+            return acc;
+        }
+        """
+        data = [40, 50, 60, -10, -300, 20, 5, 5, 0, 1, 2, 3, 4, 5, 6, 7]
+        acc = 0
+        for v in data:
+            acc = max(-100, min(100, acc + v))
+        result = run_all_levels(src, {"x": data})
+        assert result.return_value == acc
+
+
+class TestLanguageCorners:
+    def test_ternary_in_loop(self):
+        src = """
+        int x[8];
+        int main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 8; i++) { s += x[i] > 0 ? x[i] : -x[i]; }
+            return s;
+        }
+        """
+        data = [1, -2, 3, -4, 5, -6, 7, -8]
+        result = run_all_levels(src, {"x": data})
+        assert result.return_value == sum(abs(v) for v in data)
+
+    def test_shadowing_keeps_outer_value(self):
+        src = """
+        int main() {
+            int a; int out;
+            a = 5;
+            { int a; a = 99; out = a; }
+            return a * 100 + out;
+        }
+        """
+        assert run_all_levels(src).return_value == 5 * 100 + 99
+
+    def test_short_circuit_protects_division(self):
+        src = """
+        int main() {
+            int d; int hits; int i;
+            int x[4];
+            x[0] = 0; x[1] = 2; x[2] = 0; x[3] = 4;
+            hits = 0;
+            for (i = 0; i < 4; i++) {
+                d = x[i];
+                if (d != 0 && 100 / d > 20) { hits++; }
+            }
+            return hits;
+        }
+        """
+        assert run_all_levels(src).return_value == 2
+
+    def test_compound_shift_assign(self):
+        src = """
+        int main() {
+            int v;
+            v = 3;
+            v <<= 4;
+            v >>= 1;
+            v |= 1;
+            v ^= 2;
+            v &= 63;
+            return v;
+        }
+        """
+        v = 3
+        v <<= 4
+        v >>= 1
+        v |= 1
+        v ^= 2
+        v &= 63
+        assert run_all_levels(src).return_value == v
+
+    def test_break_and_continue_interplay(self):
+        src = """
+        int main() {
+            int i; int s; s = 0;
+            for (i = 0; i < 100; i++) {
+                if (i % 3 == 0) { continue; }
+                if (i > 20) { break; }
+                s += i;
+            }
+            return s;
+        }
+        """
+        expected = sum(i for i in range(21) if i % 3 != 0)
+        assert run_all_levels(src).return_value == expected
+
+    def test_global_state_across_calls(self):
+        src = """
+        int counter;
+        void bump() { counter = counter + 1; }
+        int main() {
+            int i;
+            counter = 0;
+            for (i = 0; i < 7; i++) { bump(); }
+            return counter;
+        }
+        """
+        assert run_all_levels(src).return_value == 7

@@ -1,0 +1,264 @@
+"""IR data-structure tests: values, instructions, builder, printer, verify."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.instr import Instruction
+from repro.ir.module import Module
+from repro.ir import ops
+from repro.ir.ops import Op
+from repro.ir.printer import format_function, format_instruction
+from repro.ir.values import ArraySymbol, Constant, Label, VirtualReg
+from repro.ir.verify import verify_function
+
+
+class TestValues:
+    def test_constant_coerces_int(self):
+        assert Constant(3.0, False).value == 3
+        assert isinstance(Constant(3.0, False).value, int)
+
+    def test_constant_coerces_float(self):
+        c = Constant(3, True)
+        assert c.value == 3.0 and isinstance(c.value, float)
+
+    def test_register_equality_by_value(self):
+        assert VirtualReg("t1") == VirtualReg("t1")
+        assert VirtualReg("t1") != VirtualReg("t1", is_float=True)
+
+    def test_register_usable_in_sets(self):
+        regs = {VirtualReg("a"), VirtualReg("a"), VirtualReg("b")}
+        assert len(regs) == 2
+
+    def test_array_symbol_str(self):
+        assert str(ArraySymbol("x", 10)) == "@x[10]"
+
+
+class TestOpClassification:
+    def test_chain_class_vocabulary(self):
+        assert ops.chain_class(Op.MUL) == "multiply"
+        assert ops.chain_class(Op.FMUL) == "fmultiply"
+        assert ops.chain_class(Op.SHL) == "shift"
+        assert ops.chain_class(Op.CMPLT) == "compare"
+        assert ops.chain_class(Op.FLOAD) == "fload"
+
+    def test_moves_and_control_not_chainable(self):
+        for op in (Op.MOV, Op.FMOV, Op.BR, Op.JMP, Op.RET, Op.CALL,
+                   Op.INTRIN, Op.NOP, Op.CHAIN):
+            assert ops.chain_class(op) is None
+            assert not ops.is_chainable(op)
+
+    def test_side_effects(self):
+        assert ops.has_side_effects(Op.STORE)
+        assert ops.has_side_effects(Op.CALL)
+        assert not ops.has_side_effects(Op.ADD)
+        assert not ops.has_side_effects(Op.LOAD)
+
+    def test_result_types(self):
+        assert ops.result_type(Op.FADD) == "float"
+        assert ops.result_type(Op.FCMPLT) == "int"
+        assert ops.result_type(Op.STORE) == "none"
+        assert ops.result_type(Op.ITOF) == "float"
+
+    def test_commutativity(self):
+        assert ops.is_commutative(Op.ADD)
+        assert not ops.is_commutative(Op.SUB)
+        assert not ops.is_commutative(Op.SHL)
+
+
+class TestInstruction:
+    def test_uses_and_defs(self):
+        a, b, d = VirtualReg("a"), VirtualReg("b"), VirtualReg("d")
+        ins = Instruction(Op.ADD, dest=d, srcs=(a, b))
+        assert ins.uses() == (a, b)
+        assert ins.defs() == (d,)
+
+    def test_constants_not_in_uses(self):
+        a, d = VirtualReg("a"), VirtualReg("d")
+        ins = Instruction(Op.ADD, dest=d, srcs=(a, Constant(1)))
+        assert ins.uses() == (a,)
+
+    def test_store_shape_enforced(self):
+        arr = ArraySymbol("m", 4)
+        with pytest.raises(IRError):
+            Instruction(Op.STORE, dest=VirtualReg("d"),
+                        srcs=(VirtualReg("v"), VirtualReg("i")), array=arr)
+
+    def test_load_requires_array(self):
+        with pytest.raises(IRError):
+            Instruction(Op.LOAD, dest=VirtualReg("d"),
+                        srcs=(VirtualReg("i"),))
+
+    def test_branch_requires_single_condition(self):
+        with pytest.raises(IRError):
+            Instruction(Op.BR, srcs=(), true_label="a", false_label="b")
+
+    def test_call_requires_callee(self):
+        with pytest.raises(IRError):
+            Instruction(Op.CALL, srcs=())
+
+    def test_uids_unique(self):
+        a = Instruction(Op.NOP)
+        b = Instruction(Op.NOP)
+        assert a.uid != b.uid
+
+    def test_clone_preserves_origin(self):
+        ins = Instruction(Op.ADD, dest=VirtualReg("d"),
+                          srcs=(Constant(1), Constant(2)))
+        dup = ins.clone()
+        assert dup.uid != ins.uid
+        assert dup.origin == ins.origin == ins.uid
+
+    def test_clone_of_clone_keeps_original_origin(self):
+        ins = Instruction(Op.ADD, dest=VirtualReg("d"),
+                          srcs=(Constant(1), Constant(2)))
+        dup2 = ins.clone().clone()
+        assert dup2.origin == ins.uid
+
+    def test_clone_with_reg_map(self):
+        a, b = VirtualReg("a"), VirtualReg("b")
+        ins = Instruction(Op.MOV, dest=a, srcs=(b,))
+        dup = ins.clone(reg_map={b: VirtualReg("c")})
+        assert dup.srcs[0].name == "c"
+
+    def test_replace_uses(self):
+        a, b, d = VirtualReg("a"), VirtualReg("b"), VirtualReg("d")
+        ins = Instruction(Op.ADD, dest=d, srcs=(a, a))
+        ins.replace_uses({a: b})
+        assert ins.srcs == (b, b)
+
+
+class TestBuilderAndPrinter:
+    def make(self):
+        fn = Function("f", return_type="int")
+        return fn, IRBuilder(fn)
+
+    def test_binary_allocates_temp(self):
+        fn, b = self.make()
+        dest = b.binary(Op.ADD, 1, 2)
+        assert not dest.is_float
+        assert fn.instruction_count() == 1
+
+    def test_float_op_gets_float_temp(self):
+        _fn, b = self.make()
+        dest = b.binary(Op.FADD, 1.0, 2.0)
+        assert dest.is_float
+
+    def test_compare_gets_int_temp(self):
+        _fn, b = self.make()
+        dest = b.binary(Op.FCMPLT, 1.0, 2.0)
+        assert not dest.is_float
+
+    def test_store_and_load_text(self):
+        fn, b = self.make()
+        arr = ArraySymbol("buf", 8, is_float=True)
+        v = b.load(arr, 3)
+        b.store(arr, 3, v)
+        lines = [format_instruction(i) for i in fn.instructions()]
+        assert lines[0].endswith("fload @buf[3]")
+        assert lines[1].startswith("fstore @buf[3]")
+
+    def test_branch_text(self):
+        fn, b = self.make()
+        t = b.binary(Op.CMPLT, 1, 2)
+        b.branch(t, ".a", ".b")
+        text = format_instruction(list(fn.instructions())[-1])
+        assert text == f"br {t}, .a, .b"
+
+    def test_format_function_includes_labels(self):
+        fn, b = self.make()
+        label = b.label()
+        b.place(label)
+        b.ret(0)
+        text = format_function(fn)
+        assert label + ":" in text
+
+
+class TestVerify:
+    def build_valid(self):
+        fn = Function("f", return_type="int")
+        b = IRBuilder(fn)
+        t = b.binary(Op.ADD, 1, 2)
+        b.ret(t)
+        return fn
+
+    def test_valid_function_passes(self):
+        verify_function(self.build_valid())
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(IRError):
+            verify_function(Function("f"))
+
+    def test_missing_terminator_rejected(self):
+        fn = Function("f")
+        IRBuilder(fn).binary(Op.ADD, 1, 2)
+        with pytest.raises(IRError):
+            verify_function(fn)
+
+    def test_unknown_label_rejected(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        t = b.binary(Op.CMPLT, 1, 2)
+        b.branch(t, ".nowhere", ".nowhere")
+        with pytest.raises(IRError):
+            verify_function(fn)
+
+    def test_use_before_def_rejected(self):
+        fn = Function("f", return_type="int")
+        b = IRBuilder(fn)
+        ghost = VirtualReg("ghost")
+        b.binary(Op.ADD, ghost, 1)
+        b.ret(0)
+        with pytest.raises(IRError):
+            verify_function(fn)
+
+    def test_param_counts_as_defined(self):
+        p = VirtualReg("p")
+        fn = Function("f", params=[p], return_type="int")
+        b = IRBuilder(fn)
+        t = b.binary(Op.ADD, p, 1)
+        b.ret(t)
+        verify_function(fn)
+
+    def test_type_mismatch_rejected(self):
+        fn = Function("f")
+        b = IRBuilder(fn)
+        f = b.binary(Op.FADD, 1.0, 2.0)
+        fn.emit(Instruction(Op.ADD, dest=fn.new_temp(False), srcs=(f, f)))
+        b.ret(0)
+        with pytest.raises(IRError):
+            verify_function(fn)
+
+    def test_float_load_from_int_array_rejected(self):
+        fn = Function("f")
+        arr = ArraySymbol("a", 4, is_float=False)
+        fn.emit(Instruction(Op.FLOAD, dest=fn.new_temp(True),
+                            srcs=(Constant(0),), array=arr))
+        IRBuilder(fn).ret()
+        with pytest.raises(IRError):
+            verify_function(fn)
+
+    def test_module_requires_main(self):
+        module = Module("m")
+        with pytest.raises(IRError):
+            module.entry
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        module = Module("m")
+        module.add_function(Function("f"))
+        with pytest.raises(IRError):
+            module.add_function(Function("f"))
+
+    def test_duplicate_array_rejected(self):
+        module = Module("m")
+        module.add_global_array(ArraySymbol("a", 4))
+        with pytest.raises(IRError):
+            module.add_global_array(ArraySymbol("a", 8))
+
+    def test_oversized_initializer_rejected(self):
+        module = Module("m")
+        with pytest.raises(IRError):
+            module.add_global_array(ArraySymbol("a", 2), [1, 2, 3])

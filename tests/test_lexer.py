@@ -1,0 +1,138 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        (tok, _eof) = tokenize("alpha_1")
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "alpha_1"
+
+    def test_identifier_with_leading_underscore(self):
+        (tok, _eof) = tokenize("_tmp")
+        assert tok.kind is TokenKind.IDENT
+
+    def test_keyword_recognized(self):
+        (tok, _eof) = tokenize("while")
+        assert tok.kind is TokenKind.KEYWORD
+
+    def test_keyword_prefix_is_identifier(self):
+        (tok, _eof) = tokenize("whiley")
+        assert tok.kind is TokenKind.IDENT
+
+    def test_int_literal(self):
+        (tok, _eof) = tokenize("42")
+        assert tok.kind is TokenKind.INT
+        assert tok.text == "42"
+
+    def test_float_literal_with_dot(self):
+        (tok, _eof) = tokenize("3.25")
+        assert tok.kind is TokenKind.FLOAT
+
+    def test_float_literal_leading_dot(self):
+        (tok, _eof) = tokenize(".5")
+        assert tok.kind is TokenKind.FLOAT
+        assert tok.text == ".5"
+
+    def test_float_literal_exponent(self):
+        (tok, _eof) = tokenize("1e-3")
+        assert tok.kind is TokenKind.FLOAT
+
+    def test_float_literal_exponent_with_dot(self):
+        (tok, _eof) = tokenize("2.5E+10")
+        assert tok.kind is TokenKind.FLOAT
+
+    def test_int_followed_by_member_like_e(self):
+        # "1e" without digits is an int then an identifier.
+        toks = tokenize("1e")
+        assert toks[0].kind is TokenKind.INT
+        assert toks[1].kind is TokenKind.IDENT
+
+
+class TestPunctuators:
+    @pytest.mark.parametrize("punct", [
+        "+", "-", "*", "/", "%", "<<", ">>", "==", "!=", "<=", ">=",
+        "&&", "||", "+=", "-=", "*=", "/=", "++", "--", "<<=", ">>=",
+        "&", "|", "^", "~", "!", "?", ":",
+    ])
+    def test_punctuator_roundtrip(self, punct):
+        (tok, _eof) = tokenize(punct)
+        assert tok.kind is TokenKind.PUNCT
+        assert tok.text == punct
+
+    def test_longest_match_wins(self):
+        assert texts("a <<= 1") == ["a", "<<=", "1"]
+
+    def test_shift_vs_relational(self):
+        assert texts("a << b < c") == ["a", "<<", "b", "<", "c"]
+
+    def test_increment_vs_plus(self):
+        assert texts("a+++b") == ["a", "++", "+", "b"]
+
+
+class TestTrivia:
+    def test_whitespace_skipped(self):
+        assert texts("  a \t b \n c ") == ["a", "b", "c"]
+
+    def test_line_comment(self):
+        assert texts("a // comment here\nb") == ["a", "b"]
+
+    def test_block_comment(self):
+        assert texts("a /* x\ny */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("a /* never closed")
+
+    def test_line_comment_at_eof(self):
+        assert texts("a // trailing") == ["a"]
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].loc.line == 1 and toks[0].loc.column == 1
+        assert toks[1].loc.line == 2 and toks[1].loc.column == 3
+
+    def test_filename_recorded(self):
+        toks = tokenize("x", filename="prog.c")
+        assert toks[0].loc.filename == "prog.c"
+
+    def test_location_after_block_comment(self):
+        toks = tokenize("/* a\nb */ x")
+        assert toks[0].loc.line == 2
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError) as exc:
+            tokenize("a $ b")
+        assert "$" in str(exc.value)
+
+    def test_error_carries_location(self):
+        with pytest.raises(LexerError) as exc:
+            tokenize("ab\n  @")
+        assert exc.value.location.line == 2
+
+    def test_error_message_mentions_position(self):
+        with pytest.raises(LexerError) as exc:
+            tokenize("@", filename="f.c")
+        assert "f.c:1:1" in str(exc.value)

@@ -1,0 +1,210 @@
+"""Loop pipelining (unroll-and-compact) and LICM tests."""
+
+import pytest
+
+from repro.cfg.build import build_module_graphs
+from repro.cfg.loops import find_natural_loops
+from repro.frontend import compile_source
+from repro.ir.ops import Op
+from repro.opt.licm import hoist_loop_invariants
+from repro.opt.looppipe import pipeline_loops
+from repro.opt.percolation import compact_graph
+from repro.sim.machine import run_module
+
+
+def graphs_of(source):
+    return build_module_graphs(compile_source(source, "t"))
+
+
+LOOP_SRC = """
+int x[16];
+int y[16];
+int n = 16;
+int main() {
+    int i;
+    for (i = 0; i < n; i++) { y[i] = x[i] * 3 + 1; }
+    return 0;
+}
+"""
+
+NESTED_SRC = """
+int m[4][4];
+int main() {
+    int i; int j; int s;
+    s = 0;
+    for (i = 0; i < 4; i++) {
+        for (j = 0; j < 4; j++) { s += m[i][j]; }
+    }
+    return s;
+}
+"""
+
+
+class TestUnrolling:
+    def test_unroll_duplicates_body(self):
+        gm = graphs_of(LOOP_SRC)
+        g = gm.graphs["main"]
+        before = g.node_count()
+        stats = pipeline_loops(g, factor=2)
+        assert stats.loops_unrolled == 1
+        assert g.node_count() > before
+        assert stats.copies_made == g.node_count() - before
+
+    def test_factor_one_is_noop(self):
+        gm = graphs_of(LOOP_SRC)
+        g = gm.graphs["main"]
+        before = g.node_count()
+        stats = pipeline_loops(g, factor=1)
+        assert stats.loops_unrolled == 0
+        assert g.node_count() == before
+
+    def test_semantics_preserved_any_trip_count(self):
+        # Trip count 16 is even; also check an odd bound via a different
+        # program so partial last iterations exercise the per-copy exits.
+        for bound in (0, 1, 5, 16):
+            src = LOOP_SRC.replace("int n = 16;", f"int n = {bound};")
+            inputs = {"x": list(range(16))}
+            gm = graphs_of(src)
+            expected = run_module(gm, inputs)
+            gm2 = graphs_of(src)
+            for g in gm2.graphs.values():
+                pipeline_loops(g, factor=3)
+            actual = run_module(gm2, inputs)
+            assert actual.globals_after == expected.globals_after, bound
+
+    def test_only_innermost_unrolled(self):
+        gm = graphs_of(NESTED_SRC)
+        g = gm.graphs["main"]
+        stats = pipeline_loops(g, factor=2)
+        assert stats.loops_unrolled == 1
+        assert stats.loops_seen == 2
+
+    def test_loop_with_call_skipped(self):
+        gm = graphs_of("""
+        int f(int v) { return v + 1; }
+        int main() { int i; int s; s = 0;
+            for (i = 0; i < 4; i++) { s = f(s); } return s; }
+        """)
+        g = gm.graphs["main"]
+        stats = pipeline_loops(g, factor=2)
+        assert stats.skipped_calls == 1
+        assert stats.loops_unrolled == 0
+
+    def test_oversized_loop_skipped(self):
+        gm = graphs_of(LOOP_SRC)
+        g = gm.graphs["main"]
+        stats = pipeline_loops(g, factor=2, max_body_nodes=2)
+        assert stats.skipped_size == 1
+
+    def test_unroll_then_compact_preserves_and_speeds_up(self):
+        inputs = {"x": list(range(16))}
+        gm = graphs_of(LOOP_SRC)
+        expected = run_module(gm, inputs)
+        gm2 = graphs_of(LOOP_SRC)
+        for g in gm2.graphs.values():
+            pipeline_loops(g, factor=2)
+            compact_graph(g)
+        actual = run_module(gm2, inputs)
+        assert actual.globals_after == expected.globals_after
+        assert actual.cycles < expected.cycles
+
+    def test_provenance_preserved_across_copies(self):
+        gm = graphs_of(LOOP_SRC)
+        g = gm.graphs["main"]
+        origins_before = sorted(
+            ins.origin for n in g.nodes.values() for ins in n.ops)
+        pipeline_loops(g, factor=2)
+        origins_after = {
+            ins.origin for n in g.nodes.values() for ins in n.ops}
+        assert origins_after == set(origins_before)
+
+
+class TestLICM:
+    def test_invariant_load_hoisted(self):
+        gm = graphs_of(LOOP_SRC)
+        g = gm.graphs["main"]
+        hoisted = hoist_loop_invariants(g)
+        assert hoisted >= 1
+        loops = find_natural_loops(g)
+        loop_nodes = set().union(*(lp.body for lp in loops))
+        loads_in_loops = [
+            ins for nid in loop_nodes for ins in g.nodes[nid].ops
+            if ins.op is Op.LOAD and ins.array.name == "n"]
+        assert loads_in_loops == []
+
+    def test_variant_load_not_hoisted(self):
+        gm = graphs_of(LOOP_SRC)
+        g = gm.graphs["main"]
+        hoist_loop_invariants(g)
+        loops = find_natural_loops(g)
+        loop_nodes = set().union(*(lp.body for lp in loops))
+        x_loads = [
+            ins for nid in loop_nodes for ins in g.nodes[nid].ops
+            if ins.op is Op.LOAD and ins.array.name == "x"]
+        assert x_loads  # depends on i: must stay inside
+
+    def test_load_with_aliasing_store_not_hoisted(self):
+        gm = graphs_of("""
+        int a[4];
+        int main() { int i; int s; s = 0;
+            for (i = 0; i < 4; i++) { a[0] = i; s += a[0]; }
+            return s; }
+        """)
+        g = gm.graphs["main"]
+        hoist_loop_invariants(g)
+        loops = find_natural_loops(g)
+        loop_nodes = set().union(*(lp.body for lp in loops))
+        a_loads = [
+            ins for nid in loop_nodes for ins in g.nodes[nid].ops
+            if ins.op is Op.LOAD and ins.array.name == "a"]
+        assert a_loads
+
+    def test_semantics_preserved(self):
+        inputs = {"x": list(range(16))}
+        gm = graphs_of(LOOP_SRC)
+        expected = run_module(gm, inputs)
+        gm2 = graphs_of(LOOP_SRC)
+        for g in gm2.graphs.values():
+            hoist_loop_invariants(g)
+        actual = run_module(gm2, inputs)
+        assert actual.globals_after == expected.globals_after
+
+    def test_hoisting_plus_delete_reduces_cycles(self):
+        # LICM empties loop nodes; the delete transformation reclaims the
+        # cycles (exactly how the optimization pipeline pairs them).
+        from repro.opt.percolation import delete_empty_nodes
+        inputs = {"x": list(range(16))}
+        gm = graphs_of(LOOP_SRC)
+        before = run_module(gm, inputs).cycles
+        for g in gm.graphs.values():
+            hoist_loop_invariants(g)
+            delete_empty_nodes(g)
+        after = run_module(gm, inputs).cycles
+        assert after < before
+
+    def test_zero_trip_loop_with_hoisted_load_safe(self):
+        # Hoisted constant-index loads execute even when the loop body
+        # never runs; they must be in bounds and side-effect free.
+        src = LOOP_SRC.replace("int n = 16;", "int n = 0;")
+        inputs = {"x": list(range(16))}
+        gm = graphs_of(src)
+        expected = run_module(gm, inputs)
+        gm2 = graphs_of(src)
+        for g in gm2.graphs.values():
+            hoist_loop_invariants(g)
+        actual = run_module(gm2, inputs)
+        assert actual.globals_after == expected.globals_after
+
+    def test_dependent_invariants_hoist_over_rounds(self):
+        gm = graphs_of("""
+        int k = 3;
+        int x[8];
+        int main() { int i; int s; s = 0;
+            for (i = 0; i < 8; i++) { s += x[i] * (k * 2 + 1); }
+            return s; }
+        """)
+        g = gm.graphs["main"]
+        hoisted = hoist_loop_invariants(g)
+        assert hoisted >= 3  # load k, k*2, +1
+        inputs = {"x": [1] * 8}
+        assert run_module(gm, inputs).return_value == 8 * 7

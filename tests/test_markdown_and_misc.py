@@ -1,0 +1,162 @@
+"""Markdown report tests plus coverage of smaller corners: pipeline
+switches, graph copies, cost-model customization, error hierarchy."""
+
+import pytest
+
+from repro.cfg.build import build_module_graphs
+from repro.errors import (AnalysisError, AsipError, IRError, LexerError,
+                          LoweringError, OptimizationError, ParseError,
+                          ReproError, SemanticError, SimulationError)
+from repro.frontend import compile_source
+from repro.opt.pipeline import OptLevel, optimize_module
+from repro.reporting.markdown import (coverage_section, cycles_section,
+                                      ilp_section, sequences_section,
+                                      study_report)
+from repro.sim.machine import run_module
+
+
+class TestMarkdownReport:
+    def test_full_report_structure(self, mini_study):
+        text = study_report(mini_study, title="Nightly")
+        assert text.startswith("# Nightly")
+        for heading in ("## Cycle counts", "## Combined sequence",
+                        "## Suite ILP", "## Iterative coverage"):
+            assert heading in text
+
+    def test_cycles_table_has_speedups(self, mini_study):
+        text = cycles_section(mini_study)
+        assert "speedup L1" in text and "x |" in text
+
+    def test_sequences_table_lists_table2_names(self, mini_study):
+        text = sequences_section(mini_study)
+        assert "multiply-add" in text
+        assert text.count("%") >= 15
+
+    def test_ilp_table(self, mini_study):
+        text = ilp_section(mini_study)
+        assert "No Optimization" in text
+        assert "Pipelined" in text
+
+    def test_coverage_table(self, mini_study):
+        text = coverage_section(mini_study, benchmarks=("sewha",))
+        assert "sewha" in text
+        assert text.count("%") >= 2
+
+    def test_markdown_tables_well_formed(self, mini_study):
+        text = study_report(mini_study)
+        for block in text.split("\n\n"):
+            lines = [ln for ln in block.splitlines()
+                     if ln.startswith("|")]
+            if not lines:
+                continue
+            widths = {ln.count("|") for ln in lines}
+            assert len(widths) == 1, f"ragged table:\n{block}"
+
+
+SRC = """
+int x[8];
+int main() {
+    int i; int s; s = 0;
+    for (i = 0; i < 8; i++) { s += x[i] * 5; }
+    return s;
+}
+"""
+
+INPUTS = {"x": [1, 2, 3, 4, 5, 6, 7, 8]}
+
+
+class TestPipelineSwitches:
+    def expected(self):
+        return sum(v * 5 for v in INPUTS["x"])
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(enable_pipelining=False),
+        dict(enable_compaction=False),
+        dict(enable_licm=False),
+        dict(enable_pipelining=False, enable_compaction=False),
+        dict(unroll_factor=3),
+        dict(unroll_factor=4, max_width=2),
+    ])
+    def test_every_configuration_preserves_semantics(self, kwargs):
+        module = compile_source(SRC, "t")
+        gm, _ = optimize_module(module, OptLevel.PIPELINED, **kwargs)
+        assert run_module(gm, INPUTS).return_value == self.expected()
+
+    def test_level0_ignores_switches(self):
+        module = compile_source(SRC, "t")
+        gm, report = optimize_module(module, OptLevel.NONE,
+                                     enable_pipelining=False)
+        assert report.compaction == {}
+        assert run_module(gm, INPUTS).return_value == self.expected()
+
+    def test_higher_unroll_factor_copies_more(self):
+        module = compile_source(SRC, "t")
+        _, r2 = optimize_module(module, OptLevel.PIPELINED,
+                                unroll_factor=2)
+        _, r4 = optimize_module(module, OptLevel.PIPELINED,
+                                unroll_factor=4)
+        copies2 = sum(p.copies_made for p in r2.pipelining.values())
+        copies4 = sum(p.copies_made for p in r4.pipelining.values())
+        assert copies4 > copies2
+
+
+class TestGraphModuleCopy:
+    def test_copy_isolates_mutation(self):
+        gm = build_module_graphs(compile_source(SRC, "t"))
+        dup = gm.copy()
+        graph = dup.graphs["main"]
+        victim = next(n for n in graph.nodes.values() if n.ops)
+        victim.ops.clear()
+        original = gm.graphs["main"]
+        assert any(n.ops for n in original.nodes.values())
+        # The original still runs correctly.
+        assert run_module(gm, INPUTS).return_value == \
+            sum(v * 5 for v in INPUTS["x"])
+
+    def test_copy_preserves_entry_and_edges(self):
+        gm = build_module_graphs(compile_source(SRC, "t"))
+        dup = gm.copy()
+        g0, g1 = gm.graphs["main"], dup.graphs["main"]
+        assert g0.entry == g1.entry
+        assert {(nid, tuple(n.succs)) for nid, n in g0.nodes.items()} == \
+            {(nid, tuple(n.succs)) for nid, n in g1.nodes.items()}
+
+
+class TestCostModelCustomization:
+    def test_zero_latch_credit_raises_area(self):
+        from repro.asip.cost import CostModel
+        generous = CostModel(link_latch_credit=0)
+        default = CostModel()
+        pattern = ("multiply", "add")
+        assert generous.chain_area(pattern) > default.chain_area(pattern)
+
+    def test_slow_clock_fuses_longer_chains(self):
+        from repro.asip.cost import CostModel
+        slow = CostModel(cycle_time=20.0)
+        pattern = ("load", "multiply", "add", "add")
+        assert slow.chain_cycles(pattern) == 1
+        assert slow.cycles_saved_per_traversal(pattern) == 3
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        ParseError, SemanticError, LoweringError, IRError,
+        SimulationError, OptimizationError, AnalysisError, AsipError,
+    ])
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_lexer_error_formats_location(self):
+        from repro.errors import SourceLocation
+        err = LexerError("bad", SourceLocation(3, 7, "k.c"))
+        assert "k.c:3:7" in str(err)
+
+    def test_semantic_error_without_location(self):
+        err = SemanticError("no main")
+        assert str(err) == "semantic error: no main"
+
+    def test_one_catch_covers_frontend(self):
+        with pytest.raises(ReproError):
+            compile_source("int main( {", "bad")
+        with pytest.raises(ReproError):
+            compile_source("int main() { return ghost; }", "bad")

@@ -1,0 +1,217 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+
+
+def parse_expr(text):
+    """Parse an expression by wrapping it in a tiny program."""
+    prog = parse("int main() { int z; z = %s; return 0; }" % text)
+    assign = prog.functions[0].body.items[1]
+    assert isinstance(assign, ast.Assign)
+    return assign.value
+
+
+def parse_stmt(text):
+    prog = parse("int main() { %s return 0; }" % text)
+    return prog.functions[0].body.items[0]
+
+
+class TestTopLevel:
+    def test_globals_and_functions_separated(self):
+        prog = parse("int a; float b[4]; void f() { } int main() "
+                     "{ return 0; }")
+        assert [d.name for d in prog.globals] == ["a", "b"]
+        assert [f.name for f in prog.functions] == ["f", "main"]
+
+    def test_multi_declarator_line(self):
+        prog = parse("int a, b, c; int main() { return 0; }")
+        assert [d.name for d in prog.globals] == ["a", "b", "c"]
+
+    def test_global_scalar_initializer(self):
+        prog = parse("int n = 35; int main() { return 0; }")
+        assert isinstance(prog.globals[0].init, ast.IntLit)
+
+    def test_global_array_brace_initializer(self):
+        prog = parse("float h[3] = { 1.0, 2.0, 3.0 }; "
+                     "int main() { return 0; }")
+        assert len(prog.globals[0].init) == 3
+
+    def test_brace_initializer_trailing_comma(self):
+        prog = parse("int c[2] = { 1, 2, }; int main() { return 0; }")
+        assert len(prog.globals[0].init) == 2
+
+    def test_two_dimensional_array(self):
+        prog = parse("int img[24][24]; int main() { return 0; }")
+        assert prog.globals[0].dims == (24, 24)
+
+    def test_three_dimensional_array_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int t[2][2][2]; int main() { return 0; }")
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(ParseError):
+            parse("int t[0]; int main() { return 0; }")
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(ParseError):
+            parse("void v; int main() { return 0; }")
+
+    def test_function_params(self):
+        prog = parse("int f(int a, float b, float c[8]) { return a; } "
+                     "int main() { return 0; }")
+        params = prog.functions[0].params
+        assert [p.name for p in params] == ["a", "b", "c"]
+        assert params[2].dims == (8,)
+
+    def test_unsized_array_param(self):
+        prog = parse("void f(float v[]) { } int main() { return 0; }")
+        assert prog.functions[0].params[0].dims == (None,)
+
+    def test_stray_token_at_top_level(self):
+        with pytest.raises(ParseError):
+            parse("42; int main() { return 0; }")
+
+
+class TestStatements:
+    def test_if_else(self):
+        stmt = parse_stmt("if (1) { } else { }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.other is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmt = parse_stmt("if (1) if (2) ; else ;")
+        assert stmt.other is None
+        assert isinstance(stmt.then, ast.If)
+        assert stmt.then.other is not None
+
+    def test_while(self):
+        stmt = parse_stmt("while (x < 3) { }")
+        assert isinstance(stmt, ast.While)
+
+    def test_for_full(self):
+        stmt = parse_stmt("for (i = 0; i < 4; i++) { }")
+        assert isinstance(stmt, ast.For)
+        assert stmt.init is not None and stmt.step is not None
+
+    def test_for_empty_clauses(self):
+        stmt = parse_stmt("for (;;) { break; }")
+        assert stmt.init is None and stmt.cond is None and stmt.step is None
+
+    def test_compound_assign(self):
+        stmt = parse_stmt("x += 2;")
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.op == "+="
+
+    def test_increment_desugars_to_plus_equals(self):
+        stmt = parse_stmt("x++;")
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.op == "+=" and stmt.value.value == 1
+
+    def test_decrement(self):
+        stmt = parse_stmt("x--;")
+        assert stmt.op == "-="
+
+    def test_assignment_to_rvalue_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmt("(x + 1) = 2;")
+
+    def test_empty_statement(self):
+        stmt = parse_stmt(";")
+        assert isinstance(stmt, ast.Block) and stmt.items == []
+
+    def test_return_without_value(self):
+        prog = parse("void f() { return; } int main() { return 0; }")
+        ret = prog.functions[0].body.items[0]
+        assert isinstance(ret, ast.Return) and ret.value is None
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_stmt("x = 1")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return 0;")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.rhs.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        expr = parse_expr("1 << 2 + 3")
+        assert expr.op == "<<"
+        assert expr.rhs.op == "+"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-" and expr.lhs.op == "-"
+
+    def test_comparison_chain_parses_left(self):
+        expr = parse_expr("1 < 2 == 0")
+        assert expr.op == "=="
+
+    def test_logical_precedence(self):
+        expr = parse_expr("1 || 2 && 3")
+        assert expr.op == "||"
+        assert expr.rhs.op == "&&"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.lhs.op == "+"
+
+    def test_unary_minus_nested(self):
+        expr = parse_expr("--x" .replace("--", "- -"))
+        assert isinstance(expr, ast.UnOp) and isinstance(expr.operand,
+                                                         ast.UnOp)
+
+    def test_unary_plus_is_identity(self):
+        expr = parse_expr("+x")
+        assert isinstance(expr, ast.Name)
+
+    def test_cast(self):
+        expr = parse_expr("(float) 3")
+        assert isinstance(expr, ast.Cast) and expr.target == "float"
+
+    def test_cast_binds_tighter_than_mul(self):
+        expr = parse_expr("(int) 2.0 * 3")
+        assert expr.op == "*"
+        assert isinstance(expr.lhs, ast.Cast)
+
+    def test_parenthesized_name_is_not_cast(self):
+        expr = parse_expr("(x) + 1")
+        assert expr.op == "+"
+
+    def test_ternary(self):
+        expr = parse_expr("1 ? 2 : 3")
+        assert isinstance(expr, ast.Cond)
+
+    def test_ternary_right_associative(self):
+        expr = parse_expr("1 ? 2 : 3 ? 4 : 5")
+        assert isinstance(expr.other, ast.Cond)
+
+    def test_call_with_args(self):
+        expr = parse_expr("f(1, x, 2.0)")
+        assert isinstance(expr, ast.Call) and len(expr.args) == 3
+
+    def test_index_one_dim(self):
+        expr = parse_expr("a[i + 1]")
+        assert isinstance(expr, ast.Index) and len(expr.indices) == 1
+
+    def test_index_two_dims(self):
+        expr = parse_expr("m[i][j]")
+        assert isinstance(expr, ast.Index) and len(expr.indices) == 2
+
+    def test_indexing_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expr("f(1)[2]")
+
+    def test_missing_operand(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 + ")

@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+The heavyweight property here is the compiler's *semantic preservation*:
+random mini-C kernels must produce bit-identical outputs at every
+optimization level.  Smaller properties pin down the scalar semantics
+helpers, strength reduction, constant folding, and detection accounting.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.frontend import compile_source
+from repro.lowering.lower import _shift_add_plan, strength_reduction_terms
+from repro.opt.pipeline import OptLevel, optimize_module
+from repro.sim.machine import run_module
+from repro.sim.values import int_div, int_mod
+
+ints = st.integers(min_value=-10_000, max_value=10_000)
+nonzero = ints.filter(lambda v: v != 0)
+small_pos = st.integers(min_value=1, max_value=1 << 20)
+
+
+class TestScalarSemantics:
+    @given(a=ints, b=nonzero)
+    def test_div_mod_identity(self, a, b):
+        assert int_div(a, b) * b + int_mod(a, b) == a
+
+    @given(a=ints, b=nonzero)
+    def test_div_truncates_toward_zero(self, a, b):
+        q = int_div(a, b)
+        assert abs(q) == abs(a) // abs(b)
+
+    @given(a=ints, b=nonzero)
+    def test_mod_sign_follows_dividend(self, a, b):
+        r = int_mod(a, b)
+        assert r == 0 or (r > 0) == (a > 0)
+
+    @given(a=ints, b=nonzero)
+    def test_matches_c_semantics_via_float(self, a, b):
+        assert int_div(a, b) == math.trunc(a / b)
+
+
+class TestStrengthReductionPlan:
+    @given(value=small_pos)
+    def test_plan_reconstructs_value(self, value):
+        with strength_reduction_terms(2):
+            plan = _shift_add_plan(value)
+        if plan is None:
+            return
+        acc = 0
+        for sign, shift in plan:
+            acc = acc + (1 << shift) if sign == "+" else acc - (1 << shift)
+        assert acc == value
+
+    @given(exp=st.integers(min_value=0, max_value=20))
+    def test_powers_of_two_always_reducible(self, exp):
+        plan = _shift_add_plan(1 << exp)
+        assert plan == [("+", exp)]
+
+
+# Random straight-line integer kernel generator: a sequence of assignments
+# over a small set of variables, all initialized, combined with + - * and
+# shifts by literal amounts, returned modulo nothing (Python bigints).
+_var_names = ("a", "b", "c", "d")
+
+
+@st.composite
+def straight_line_program(draw):
+    lines = ["int main() {"]
+    for name in _var_names:
+        lines.append(f"    int {name}; {name} = "
+                     f"{draw(st.integers(-50, 50))};")
+    n_stmts = draw(st.integers(min_value=1, max_value=8))
+    for _ in range(n_stmts):
+        target = draw(st.sampled_from(_var_names))
+        lhs = draw(st.sampled_from(_var_names))
+        rhs = draw(st.sampled_from(_var_names))
+        op = draw(st.sampled_from(("+", "-", "*")))
+        scale = draw(st.integers(min_value=0, max_value=4))
+        lines.append(f"    {target} = ({lhs} {op} {rhs}) + "
+                     f"({lhs} << {scale});")
+    expr = " + ".join(_var_names)
+    lines.append(f"    return {expr};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+@st.composite
+def branchy_program(draw):
+    """Straight-line core plus a data-dependent branch and a short loop."""
+    body = draw(straight_line_program())
+    bound = draw(st.integers(min_value=0, max_value=6))
+    pivot = draw(st.integers(min_value=-20, max_value=20))
+    inner = body.replace("int main() {", "").rsplit("return", 1)
+    decls_and_stmts = inner[0]
+    expr = "a + b + c + d"
+    return (
+        "int main() {\n"
+        + decls_and_stmts
+        + f"    if (a > {pivot}) {{ b = b - c; }} else "
+        + "{ b = b + c; }\n"
+        + f"    {{ int i; for (i = 0; i < {bound}; i++) "
+        + "{ a = a + b; c = c + 1; } }\n"
+        + f"    return {expr};\n}}"
+    )
+
+
+class TestOptimizationPreservesSemantics:
+    @given(source=straight_line_program())
+    @settings(max_examples=40, deadline=None)
+    def test_straight_line(self, source):
+        module = compile_source(source, "p")
+        reference = None
+        for level in (0, 1, 2):
+            gm, _ = optimize_module(module, OptLevel(level))
+            result = run_module(gm)
+            if reference is None:
+                reference = result.return_value
+            else:
+                assert result.return_value == reference, (level, source)
+
+    @given(source=branchy_program())
+    @settings(max_examples=30, deadline=None)
+    def test_branches_and_loops(self, source):
+        module = compile_source(source, "p")
+        reference = None
+        for level in (0, 1, 2):
+            gm, _ = optimize_module(module, OptLevel(level))
+            result = run_module(gm)
+            if reference is None:
+                reference = result.return_value
+            else:
+                assert result.return_value == reference, (level, source)
+
+    @given(source=straight_line_program(),
+           terms=st.sampled_from((1, 2)))
+    @settings(max_examples=20, deadline=None)
+    def test_strength_reduction_setting_irrelevant_to_results(
+            self, source, terms):
+        with strength_reduction_terms(terms):
+            module = compile_source(source, "p")
+        gm, _ = optimize_module(module, OptLevel.NONE)
+        result_a = run_module(gm).return_value
+        module_b = compile_source(source, "p")
+        gm_b, _ = optimize_module(module_b, OptLevel.NONE)
+        result_b = run_module(gm_b).return_value
+        assert result_a == result_b
+
+
+class TestAssemblerRoundTrip:
+    @given(source=straight_line_program())
+    @settings(max_examples=25, deadline=None)
+    def test_print_parse_preserves_behaviour(self, source):
+        from repro.cfg.build import build_module_graphs
+        from repro.ir.asm import parse_module
+        from repro.ir.printer import format_module
+        from repro.ir.verify import verify_module
+
+        module = compile_source(source, "p")
+        expected = run_module(build_module_graphs(module)).return_value
+
+        reparsed = parse_module(format_module(module))
+        verify_module(reparsed)
+        actual = run_module(build_module_graphs(reparsed)).return_value
+        assert actual == expected
+
+    @given(source=branchy_program())
+    @settings(max_examples=15, deadline=None)
+    def test_roundtrip_with_control_flow(self, source):
+        from repro.cfg.build import build_module_graphs
+        from repro.ir.asm import parse_module
+        from repro.ir.printer import format_module
+
+        module = compile_source(source, "p")
+        expected = run_module(build_module_graphs(module)).return_value
+        reparsed = parse_module(format_module(module))
+        actual = run_module(build_module_graphs(reparsed)).return_value
+        assert actual == expected
+
+
+class TestDetectionInvariants:
+    @given(source=branchy_program())
+    @settings(max_examples=15, deadline=None)
+    def test_frequencies_bounded_and_consistent(self, source):
+        from repro.chaining.detect import detect_sequences
+
+        module = compile_source(source, "p")
+        gm, _ = optimize_module(module, OptLevel.PIPELINED)
+        result = run_module(gm)
+        detection = detect_sequences(gm, result.profile, (2, 3))
+        for seq in detection.all_sequences():
+            freq = detection.frequency(seq.name)
+            assert 0.0 <= freq <= 100.0 + 1e-9
+            assert detection.attributed_cycles(seq.name) <= \
+                seq.cycles_accounted
+            for occ in seq.occurrences:
+                assert occ.count >= 1
+                assert len(occ.path) == seq.length
+
+
+class TestDetectionAccounting:
+    @given(counts=st.lists(st.integers(min_value=1, max_value=1000),
+                           min_size=1, max_size=10),
+           length=st.integers(min_value=2, max_value=5))
+    def test_cycles_accounted_additive(self, counts, length):
+        from repro.chaining.sequence import DetectedSequence, Occurrence
+        seq = DetectedSequence(tuple(["add"] * length))
+        for i, count in enumerate(counts):
+            path = tuple((i * 10 + j, i * 100 + j) for j in range(length))
+            seq.add(Occurrence("main", path, count))
+        assert seq.total_count == sum(counts)
+        assert seq.cycles_accounted == sum(counts) * length
+
+    @given(values=st.lists(
+        st.tuples(st.integers(0, 1_000_000), st.integers(1, 2_000_000)),
+        min_size=1, max_size=20))
+    def test_frequency_bounds(self, values):
+        from repro.chaining.frequency import dynamic_frequency
+        for accounted, total in values:
+            freq = dynamic_frequency(accounted, total)
+            assert freq >= 0.0
+            if accounted <= total:
+                assert freq <= 100.0

@@ -1,0 +1,188 @@
+"""Semantic-analysis unit tests."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+from repro.lang.types import FLOAT, INT
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+def check_fails(source, fragment=None):
+    with pytest.raises(SemanticError) as exc:
+        check(source)
+    if fragment is not None:
+        assert fragment in str(exc.value)
+    return exc.value
+
+
+MAIN = "int main() { return 0; }"
+
+
+class TestDeclarations:
+    def test_minimal_program(self):
+        table = check(MAIN)
+        assert "main" in table.functions
+
+    def test_missing_main(self):
+        check_fails("int f() { return 1; }", "main")
+
+    def test_main_with_params_rejected(self):
+        check_fails("int main(int a) { return a; }")
+
+    def test_duplicate_global(self):
+        check_fails("int a; float a; " + MAIN, "redeclaration")
+
+    def test_duplicate_function(self):
+        check_fails("void f() { } void f() { } " + MAIN, "redefinition")
+
+    def test_function_shadowing_intrinsic_rejected(self):
+        check_fails("float sin(float v) { return v; } " + MAIN)
+
+    def test_local_shadows_global(self):
+        check("int a; int main() { int a; a = 1; return a; }")
+
+    def test_duplicate_local_in_same_scope(self):
+        check_fails("int main() { int a; int a; return 0; }")
+
+    def test_shadowing_in_nested_scope_allowed(self):
+        check("int main() { int a; a = 1; { int a; a = 2; } return a; }")
+
+    def test_array_initializer_on_local_rejected(self):
+        check_fails("int main() { int c[2] = {1, 2}; return 0; }",
+                    "globals")
+
+    def test_too_many_initializer_values(self):
+        check_fails("int c[2] = {1, 2, 3}; " + MAIN)
+
+    def test_scalar_initializer_on_array_rejected(self):
+        check_fails("int c[2] = 5; " + MAIN)
+
+
+class TestNameResolution:
+    def test_undeclared_variable(self):
+        check_fails("int main() { return zz; }", "zz")
+
+    def test_undeclared_function(self):
+        check_fails("int main() { return g(); }", "g")
+
+    def test_forward_function_call_allowed(self):
+        check("int main() { return helper(); } int helper() { return 3; }")
+
+    def test_declaration_order_within_block(self):
+        check_fails("int main() { x = 1; int x; return 0; }")
+
+
+class TestTypes:
+    def test_expression_annotation(self):
+        prog = parse("float f; int main() { f = f + 1; return 0; }")
+        analyze(prog)
+        assign = prog.functions[0].body.items[0]
+        assert assign.value.ty is FLOAT
+
+    def test_comparison_yields_int(self):
+        prog = parse("float f; int main() { int b; b = f < 1.0; "
+                     "return b; }")
+        analyze(prog)
+        assign = prog.functions[0].body.items[1]
+        assert assign.value.ty is INT
+
+    def test_mod_requires_integers(self):
+        check_fails("float f; int main() { return 3 % f; }")
+        # well-typed version passes:
+        check("int main() { return 7 % 3; }")
+
+    def test_shift_of_float_rejected(self):
+        check("int main() { return 1 << 2; }")  # baseline OK
+        check_fails("float f; int main() { return 1 << f; }")
+
+    def test_bitand_of_float_rejected(self):
+        check_fails("float f; int main() { return 1 & f; }")
+
+    def test_bitnot_of_float_rejected(self):
+        check_fails("float f; int main() { return ~f; }")
+
+    def test_array_index_must_be_int(self):
+        check_fails("int a[4]; int main() { return a[1.5]; }", "indices")
+
+    def test_indexing_scalar_rejected(self):
+        check_fails("int a; int main() { return a[0]; }", "not an array")
+
+    def test_rank_mismatch(self):
+        check_fails("int m[4][4]; int main() { return m[1]; }", "rank")
+
+    def test_whole_array_assignment_rejected(self):
+        check_fails("int a[4]; int b[4]; "
+                    "int main() { a = b; return 0; }")
+
+    def test_void_function_value_use_rejected(self):
+        check_fails("void f() { } int main() { return f() + 1; }")
+
+    def test_return_value_from_void_rejected(self):
+        check_fails("void f() { return 3; } " + MAIN)
+
+    def test_missing_return_value_rejected(self):
+        check_fails("int f() { return; } " + MAIN)
+
+    def test_ternary_unifies_types(self):
+        prog = parse("int main() { float f; f = 1 ? 1 : 2.0; return 0; }")
+        analyze(prog)
+        assign = prog.functions[0].body.items[1]
+        assert assign.value.ty is FLOAT
+
+
+class TestCalls:
+    def test_arity_mismatch(self):
+        check_fails("int f(int a) { return a; } "
+                    "int main() { return f(1, 2); }", "argument")
+
+    def test_intrinsic_arity(self):
+        check_fails("int main() { float f; f = sin(1.0, 2.0); return 0; }")
+
+    def test_intrinsic_returns_float(self):
+        prog = parse("int main() { float f; f = sqrt(2.0); return 0; }")
+        analyze(prog)
+
+    def test_array_argument_ok(self):
+        check("float v[8]; float total(float a[8]) { return a[0]; } "
+              "int main() { float t; t = total(v); return 0; }")
+
+    def test_array_argument_extent_mismatch(self):
+        check_fails("float v[8]; float total(float a[4]) { return a[0]; } "
+                    "int main() { float t; t = total(v); return 0; }",
+                    "extent")
+
+    def test_array_argument_element_mismatch(self):
+        check_fails("int v[8]; float total(float a[8]) { return a[0]; } "
+                    "int main() { float t; t = total(v); return 0; }")
+
+    def test_unsized_array_param_accepts_any_length(self):
+        check("float v[100]; float first(float a[]) { return a[0]; } "
+              "int main() { float t; t = first(v); return 0; }")
+
+    def test_scalar_for_array_param_rejected(self):
+        check_fails("float g(float a[4]) { return a[0]; } "
+                    "int main() { float t; t = g(1.0); return 0; }")
+
+
+class TestControlChecks:
+    def test_break_outside_loop(self):
+        check_fails("int main() { break; return 0; }", "break")
+
+    def test_continue_outside_loop(self):
+        check_fails("int main() { continue; return 0; }", "continue")
+
+    def test_break_inside_loop_ok(self):
+        check("int main() { while (1) { break; } return 0; }")
+
+    def test_continue_in_for_ok(self):
+        check("int main() { int i; for (i = 0; i < 3; i++) { continue; } "
+              "return 0; }")
+
+    def test_break_in_if_inside_loop_ok(self):
+        check("int main() { int i; for (i = 0; i < 3; i++) "
+              "{ if (i == 1) { break; } } return 0; }")

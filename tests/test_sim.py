@@ -1,0 +1,238 @@
+"""Simulator tests: scalar semantics, memory, calls, profiling, errors."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.cfg.build import build_module_graphs
+from repro.frontend import compile_source
+from repro.sim.machine import run_module
+from repro.sim.values import int_div, int_mod
+
+from tests.conftest import compile_and_run
+
+
+def run(source, inputs=None):
+    return compile_and_run(source, inputs)
+
+
+def ret(source, inputs=None):
+    return run(source, inputs).return_value
+
+
+class TestIntegerSemantics:
+    def test_truncating_division_negative(self):
+        assert ret("int main() { return -7 / 2; }") == -3
+
+    def test_truncating_division_positive(self):
+        assert ret("int main() { return 7 / 2; }") == 3
+
+    def test_mod_sign_follows_dividend(self):
+        assert ret("int main() { return -7 % 2; }") == -1
+        assert ret("int main() { return 7 % -2; }") == 1
+
+    def test_div_mod_invariant_helpers(self):
+        for a in (-9, -1, 0, 5, 17):
+            for b in (-4, -1, 2, 7):
+                assert int_div(a, b) * b + int_mod(a, b) == a
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(SimulationError):
+            run("int n = 0; int main() { return 5 / n; }")
+
+    def test_shifts(self):
+        assert ret("int main() { return (1 << 6) + (65 >> 3); }") == 72
+
+    def test_arithmetic_right_shift_of_negative(self):
+        assert ret("int main() { return -8 >> 1; }") == -4
+
+    def test_negative_shift_amount_raises(self):
+        with pytest.raises(SimulationError):
+            run("int n = -1; int main() { return 4 << n; }")
+
+    def test_bitwise_ops(self):
+        assert ret("int main() { return (12 & 10) | (1 ^ 3); }") == 10
+
+    def test_bitnot(self):
+        assert ret("int main() { return ~5; }") == -6
+
+
+class TestFloatSemantics:
+    def test_float_arithmetic(self):
+        result = run("float out[1]; int main() "
+                     "{ out[0] = (1.5 + 2.25) * 2.0; return 0; }")
+        assert result.array("out")[0] == 7.5
+
+    def test_float_division_by_zero_raises(self):
+        with pytest.raises(SimulationError):
+            run("float z = 0.0; float out[1]; "
+                "int main() { out[0] = 1.0 / z; return 0; }")
+
+    def test_ftoi_truncates_toward_zero(self):
+        assert ret("float f = -2.9; int main() { return (int) f; }") == -2
+
+    def test_itof_exact(self):
+        result = run("float out[1]; int main() { int i; i = 7; "
+                     "out[0] = (float) i / 2.0; return 0; }")
+        assert result.array("out")[0] == 3.5
+
+    def test_intrinsics(self):
+        result = run("float out[3]; int main() { "
+                     "out[0] = sqrt(9.0); out[1] = fabs(-2.5); "
+                     "out[2] = cos(0.0); return 0; }")
+        assert result.array("out") == [3.0, 2.5, 1.0]
+
+    def test_sqrt_domain_error(self):
+        with pytest.raises(SimulationError):
+            run("float v = -1.0; float out[1]; "
+                "int main() { out[0] = sqrt(v); return 0; }")
+
+    def test_sin_matches_math(self):
+        result = run("float out[1]; float v = 0.7; "
+                     "int main() { out[0] = sin(v); return 0; }")
+        assert result.array("out")[0] == pytest.approx(math.sin(0.7))
+
+
+class TestMemory:
+    def test_inputs_bound_to_globals(self):
+        result = run("int x[4]; int y[4]; int main() { int i; "
+                     "for (i = 0; i < 4; i++) { y[i] = x[i] * 2; } "
+                     "return 0; }", {"x": [1, 2, 3, 4]})
+        assert result.array("y") == [2, 4, 6, 8]
+
+    def test_unknown_input_name_raises(self):
+        with pytest.raises(SimulationError):
+            run("int x[4]; int main() { return 0; }", {"bogus": [1]})
+
+    def test_oversized_input_raises(self):
+        with pytest.raises(SimulationError):
+            run("int x[2]; int main() { return 0; }", {"x": [1, 2, 3]})
+
+    def test_load_out_of_bounds(self):
+        with pytest.raises(SimulationError) as exc:
+            run("int a[4]; int n = 9; int main() { return a[n]; }")
+        assert "out of bounds" in str(exc.value)
+
+    def test_store_out_of_bounds(self):
+        with pytest.raises(SimulationError):
+            run("int a[4]; int n = -1; "
+                "int main() { a[n] = 3; return 0; }")
+
+    def test_local_arrays_zero_initialized(self):
+        assert ret("int main() { int buf[8]; return buf[5]; }") == 0
+
+    def test_local_arrays_fresh_per_call(self):
+        src = """
+        int f(int v) { int buf[4]; buf[0] = buf[0] + v; return buf[0]; }
+        int main() { int a; a = f(5); return f(3); }
+        """
+        assert ret(src) == 3  # not 8: storage is per activation
+
+    def test_global_initializer_applied(self):
+        assert ret("int c[3] = { 10, 20, 30 }; "
+                   "int main() { return c[1]; }") == 20
+
+    def test_uninitialized_tail_is_zero(self):
+        assert ret("int c[4] = { 9 }; int main() { return c[3]; }") == 0
+
+
+class TestCalls:
+    def test_scalar_args_by_value(self):
+        src = """
+        int bump(int v) { v = v + 1; return v; }
+        int main() { int a; a = 5; bump(a); return a; }
+        """
+        assert ret(src) == 5
+
+    def test_array_args_by_reference(self):
+        src = """
+        int buf[4];
+        void fill(int a[4], int v) { int i;
+            for (i = 0; i < 4; i++) { a[i] = v; } }
+        int main() { fill(buf, 7); return buf[3]; }
+        """
+        assert ret(src) == 7
+
+    def test_local_array_passed_to_callee(self):
+        src = """
+        int total(int a[4]) { int s; int i; s = 0;
+            for (i = 0; i < 4; i++) { s += a[i]; } return s; }
+        int main() { int tmp[4]; int i;
+            for (i = 0; i < 4; i++) { tmp[i] = i; }
+            return total(tmp); }
+        """
+        assert ret(src) == 6
+
+    def test_recursion(self):
+        src = """
+        int fact(int n) { if (n <= 1) { return 1; }
+            return n * fact(n - 1); }
+        int main() { return fact(6); }
+        """
+        assert ret(src) == 720
+
+    def test_runaway_recursion_guard(self):
+        src = """
+        int loop(int n) { return loop(n + 1); }
+        int main() { return loop(0); }
+        """
+        with pytest.raises(SimulationError) as exc:
+            run(src)
+        assert "depth" in str(exc.value)
+
+    def test_mutual_recursion(self):
+        src = """
+        int is_odd(int n);
+        """  # forward declarations unsupported; use ordering instead
+        src = """
+        int is_even(int n) { if (n == 0) { return 1; }
+            return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) { return 0; }
+            return is_even(n - 1); }
+        int main() { return is_even(10) + is_odd(7) * 10; }
+        """
+        assert ret(src) == 11
+
+
+class TestProfile:
+    def test_cycle_limit(self):
+        from repro.frontend import compile_source
+        module = compile_source(
+            "int main() { while (1) { } return 0; }", "t")
+        gm = build_module_graphs(module)
+        with pytest.raises(SimulationError):
+            run_module(gm, max_cycles=1000)
+
+    def test_node_counts_sum_to_cycles(self):
+        result = run("int main() { int i; int s; s = 0; "
+                     "for (i = 0; i < 10; i++) { s += i; } return s; }")
+        total = sum(sum(c.values())
+                    for c in result.profile.node_counts.values())
+        assert total == result.cycles
+
+    def test_edge_counts_conserve_flow(self):
+        result = run("int main() { int i; int s; s = 0; "
+                     "for (i = 0; i < 10; i++) { s += i; } return s; }")
+        profile = result.profile
+        for fn, edges in profile.edge_counts.items():
+            outflow = {}
+            for (src, _dst), count in edges.items():
+                outflow[src] = outflow.get(src, 0) + count
+            for src, total in outflow.items():
+                # Every execution of a non-return node leaves it once.
+                assert total == profile.node_counts[fn][src]
+
+    def test_call_counts(self):
+        result = run("int f() { return 1; } int main() "
+                     "{ int i; int s; s = 0; for (i = 0; i < 5; i++) "
+                     "{ s += f(); } return s; }")
+        assert result.profile.call_counts["f"] == 5
+        assert result.profile.call_counts["main"] == 1
+
+    def test_loop_body_hotter_than_exit(self):
+        result = run("int main() { int i; int s; s = 0; "
+                     "for (i = 0; i < 100; i++) { s += i; } return s; }")
+        counts = sorted(result.profile.node_counts["main"].values())
+        assert counts[-1] >= 100  # hottest node runs per iteration
+        assert counts[0] == 1     # entry/exit run once

@@ -1,0 +1,198 @@
+"""Benchmark-suite tests: every Table-1 program compiles, runs and
+produces plausible DSP output; the runner and study drivers work."""
+
+import math
+
+import pytest
+
+from repro.opt.pipeline import OptLevel
+from repro.suite.data import random_image, rng_for
+from repro.suite.registry import (all_benchmarks, benchmark_names,
+                                  get_benchmark)
+from repro.suite.runner import compile_benchmark, run_benchmark
+from repro.errors import ReproError
+
+
+class TestRegistry:
+    def test_twelve_benchmarks(self):
+        assert len(all_benchmarks()) == 12
+
+    def test_table1_order(self):
+        assert benchmark_names()[0] == "fir"
+        assert benchmark_names()[-1] == "feowf"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ReproError):
+            get_benchmark("nope")
+
+    def test_specs_have_metadata(self):
+        for spec in all_benchmarks():
+            assert spec.description
+            assert spec.data_description
+            assert spec.source_lines > 10
+            assert spec.inputs and spec.outputs
+
+    def test_input_generation_deterministic(self):
+        spec = get_benchmark("fir")
+        assert spec.generate_inputs(3) == spec.generate_inputs(3)
+        assert spec.generate_inputs(3) != spec.generate_inputs(4)
+
+    def test_inputs_match_declared_arrays(self):
+        for spec in all_benchmarks():
+            module = compile_benchmark(spec)
+            inputs = spec.generate_inputs(0)
+            for name in spec.inputs:
+                assert name in module.global_arrays
+                assert len(inputs[name]) <= \
+                    module.global_arrays[name].size
+            for name in spec.outputs:
+                assert name in module.global_arrays
+
+
+class TestDataGenerators:
+    def test_image_shape_and_range(self):
+        img = random_image(rng_for("x", 0))
+        assert len(img) == 24 * 24
+        assert all(0 <= p <= 255 for p in img)
+
+    def test_image_has_contrast(self):
+        img = random_image(rng_for("x", 0))
+        assert max(img) - min(img) > 60  # the bright patch
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+class TestEveryBenchmark:
+    def test_compiles(self, name):
+        compile_benchmark(get_benchmark(name))
+
+    def test_runs_and_levels_agree(self, name):
+        spec = get_benchmark(name)
+        module = compile_benchmark(spec)
+        r0 = run_benchmark(spec, OptLevel.NONE, module=module,
+                           lengths=(2,))
+        r1 = run_benchmark(spec, OptLevel.PIPELINED, module=module,
+                           lengths=(2,), check_against=r0.machine_result)
+        assert r1.cycles < r0.cycles  # compaction always helps here
+        assert r0.detection.total_ops > 0
+
+
+class TestBenchmarkOutputs:
+    """Spot-check each benchmark computes what it claims."""
+
+    def run0(self, name):
+        spec = get_benchmark(name)
+        return spec, run_benchmark(spec, OptLevel.NONE, lengths=(2,))
+
+    def test_fir_smooths(self):
+        _spec, run = self.run0("fir")
+        y = run.machine_result.array("y")
+        x_inputs = get_benchmark("fir").generate_inputs(0)["x"]
+        # A lowpass over zero-mean noise shrinks sample-to-sample jumps.
+        def jumpiness(v):
+            return sum(abs(a - b) for a, b in zip(v, v[1:])) / (len(v) - 1)
+        assert jumpiness(y[40:]) < jumpiness(x_inputs[40:])
+
+    def test_iir_output_bounded(self):
+        _spec, run = self.run0("iir")
+        y = run.machine_result.array("y")
+        assert all(abs(v) < 10.0 for v in y)  # stable filter
+        assert any(v != 0.0 for v in y)
+
+    def test_pse_psd_nonnegative(self):
+        _spec, run = self.run0("pse")
+        psd = run.machine_result.array("psd")
+        assert all(v >= 0.0 for v in psd)
+        assert any(v > 0.0 for v in psd)
+
+    def test_intfft_preserves_even_samples(self):
+        _spec, run = self.run0("intfft")
+        y = run.machine_result.array("y")
+        x = get_benchmark("intfft").generate_inputs(0)["x"]
+        # 2:1 interpolation: even outputs approximate the inputs (ringing
+        # from the rectangular spectral window keeps this loose).
+        errors = [abs(y[2 * i] - x[i]) for i in range(10, 40)]
+        assert sum(errors) / len(errors) < 0.35
+
+    def test_compress_reconstruction_close(self):
+        _spec, run = self.run0("compress")
+        recon = run.machine_result.array("recon")
+        img = get_benchmark("compress").generate_inputs(0)["img"]
+        rmse = math.sqrt(sum((a - b) ** 2 for a, b in zip(recon, img))
+                         / len(img))
+        assert rmse < 40.0  # 4:1 DCT keeps the image recognizable
+        assert all(0 <= p <= 255 for p in recon)
+
+    def test_flatten_spreads_histogram(self):
+        _spec, run = self.run0("flatten")
+        out = run.machine_result.array("out")
+        img = get_benchmark("flatten").generate_inputs(0)["img"]
+        assert max(out) - min(out) >= max(img) - min(img)
+        assert max(out) > 200  # equalization reaches the bright end
+
+    def test_smooth_reduces_variance(self):
+        _spec, run = self.run0("smooth")
+        out = run.machine_result.array("out")
+        img = get_benchmark("smooth").generate_inputs(0)["img"]
+
+        def variance(v):
+            mean = sum(v) / len(v)
+            return sum((p - mean) ** 2 for p in v) / len(v)
+
+        assert variance(out) < variance(img)
+
+    def test_edge_finds_the_patch(self):
+        _spec, run = self.run0("edge")
+        assert run.machine_result.return_value > 4  # patch perimeter
+        edges = run.machine_result.array("edges")
+        assert set(edges) <= {0, 1}
+
+    def test_sewha_scales_down(self):
+        _spec, run = self.run0("sewha")
+        y = run.machine_result.array("y")
+        x = get_benchmark("sewha").generate_inputs(0)["x"]
+        assert max(abs(v) for v in y) <= max(abs(v) for v in x)
+
+    def test_dft_power_nonnegative(self):
+        _spec, run = self.run0("dft")
+        assert run.machine_result.array("power")[0] >= 0.0
+
+    def test_bspline_endpoints_copied(self):
+        _spec, run = self.run0("bspline")
+        y = run.machine_result.array("y")
+        x = get_benchmark("bspline").generate_inputs(0)["x"]
+        assert y[0] == x[0] and y[255] == x[255]
+
+    def test_feowf_bounded_state(self):
+        _spec, run = self.run0("feowf")
+        y = run.machine_result.array("y")
+        assert all(abs(v) < 50000 for v in y)  # contractive feedback
+        assert any(v != 0 for v in y)
+
+
+class TestStudy:
+    def test_mini_study_shape(self, mini_study):
+        assert set(mini_study.benchmarks) == {"sewha", "bspline", "dft"}
+        for bench in mini_study.benchmarks.values():
+            assert set(int(l) for l in bench.runs) == {0, 1, 2}
+
+    def test_study_combined_levels_differ(self, mini_study):
+        c0 = mini_study.combined(0)
+        c1 = mini_study.combined(1)
+        assert c0.total_ops != c1.total_ops or c0.cycles != c1.cycles
+
+    def test_study_coverage_improves(self, mini_study):
+        cov0 = mini_study.coverage("sewha", 0)
+        cov1 = mini_study.coverage("sewha", 1)
+        assert cov1.coverage > cov0.coverage
+
+    def test_unknown_benchmark_raises(self, mini_study):
+        with pytest.raises(ReproError):
+            mini_study.benchmark("edge")
+
+    def test_summary_serializes(self, mini_study):
+        from repro.feedback.results import study_summary, summary_to_json
+        summary = study_summary(mini_study)
+        assert set(summary["benchmarks"]) == {"sewha", "bspline", "dft"}
+        text = summary_to_json(mini_study)
+        import json
+        assert json.loads(text)["config"]["levels"] == [0, 1, 2]
