@@ -57,10 +57,57 @@ def test_compaction_throughput(benchmark, edge_module):
 
 
 def test_simulator_throughput(benchmark, edge_module, edge_spec):
+    """Reference interpreter baseline (the pre-engine hot path)."""
     gm = build_module_graphs(edge_module)
     inputs = edge_spec.generate_inputs(0)
+    result = benchmark(run_module, gm, inputs, engine="reference")
+    assert result.cycles > 10_000
+
+
+def test_simulator_throughput_compiled(benchmark, edge_module, edge_spec):
+    """Compiled engine on the same workload; the ratio against
+    ``test_simulator_throughput`` is the engine speedup (target >= 3x)."""
+    gm = build_module_graphs(edge_module)
+    inputs = edge_spec.generate_inputs(0)
+    run_module(gm, inputs)  # compile once outside the timed region
     result = benchmark(run_module, gm, inputs)
     assert result.cycles > 10_000
+
+
+def test_simulator_compile_cost(benchmark, edge_module):
+    """Cost of one cold compilation (paid once per module thanks to the
+    on-module cache)."""
+    from repro.sim.engine import CompiledModule
+
+    gm = build_module_graphs(edge_module)
+    compiled = benchmark(CompiledModule, gm)
+    assert compiled.graphs
+
+
+def _explore_edge(edge_module, edge_spec, engine):
+    from repro.asip.explore import explore_designs
+
+    result = explore_designs(edge_module, edge_spec.generate_inputs(0),
+                             area_budget=2500, engine=engine)
+    assert result.measured
+    return result
+
+
+def test_exploration_end_to_end(benchmark, edge_module, edge_spec):
+    """Full design-space exploration on the compiled engine (cached base
+    simulation + compilation reuse across finalists)."""
+    result = benchmark.pedantic(
+        _explore_edge, args=(edge_module, edge_spec, "compiled"),
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert result.best is not None
+
+
+def test_exploration_end_to_end_reference(benchmark, edge_module, edge_spec):
+    """Same exploration on the reference interpreter, for the ratio."""
+    result = benchmark.pedantic(
+        _explore_edge, args=(edge_module, edge_spec, "reference"),
+        rounds=2, iterations=1)
+    assert result.best is not None
 
 
 def test_detector_throughput(benchmark, edge_level1):

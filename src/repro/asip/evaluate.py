@@ -25,7 +25,7 @@ from repro.cfg.graph import GraphModule
 from repro.errors import AsipError
 from repro.ir.module import Module
 from repro.opt.pipeline import OptLevel, optimize_module
-from repro.sim.machine import run_module
+from repro.sim.machine import DEFAULT_ENGINE, MachineResult, run_module
 
 
 @dataclass
@@ -57,15 +57,22 @@ class AsipEvaluation:
 
 def evaluate_on_sequential(seq_module: GraphModule, isa: InstructionSet,
                            inputs: Optional[dict] = None,
-                           cost_model: Optional[CostModel] = None
-                           ) -> AsipEvaluation:
-    """Evaluate *isa* against an already re-sequentialized module."""
+                           cost_model: Optional[CostModel] = None,
+                           base_result: Optional[MachineResult] = None,
+                           engine: str = DEFAULT_ENGINE) -> AsipEvaluation:
+    """Evaluate *isa* against an already re-sequentialized module.
+
+    ``base_result`` may carry a previous simulation of *seq_module* on the
+    same inputs; the exploration loop passes it so the unchained base
+    processor is simulated once per benchmark instead of once per finalist.
+    """
     cost = cost_model or isa.cost_model or DEFAULT_COST_MODEL
-    base_result = run_module(seq_module, inputs)
+    if base_result is None:
+        base_result = run_module(seq_module, inputs, engine=engine)
 
     fused_module = seq_module.copy()
     stats = select_chains(fused_module, isa)
-    fused_result = run_module(fused_module, inputs)
+    fused_result = run_module(fused_module, inputs, engine=engine)
 
     if fused_result.globals_after != base_result.globals_after \
             or fused_result.return_value != base_result.return_value:
@@ -102,9 +109,11 @@ def evaluate_isa(module: Module, isa: InstructionSet,
                  inputs: Optional[dict] = None,
                  level: OptLevel = OptLevel.PIPELINED,
                  unroll_factor: int = 2,
-                 cost_model: Optional[CostModel] = None) -> AsipEvaluation:
+                 cost_model: Optional[CostModel] = None,
+                 engine: str = DEFAULT_ENGINE) -> AsipEvaluation:
     """Full-loop evaluation of *isa* on linear *module* at *level*."""
     graph_module, _ = optimize_module(module, level,
                                       unroll_factor=unroll_factor)
     sequential = resequence_module(graph_module)
-    return evaluate_on_sequential(sequential, isa, inputs, cost_model)
+    return evaluate_on_sequential(sequential, isa, inputs, cost_model,
+                                  engine=engine)

@@ -36,7 +36,7 @@ from repro.chaining.sequence import SequenceName, sequence_label
 from repro.errors import AsipError
 from repro.ir.module import Module
 from repro.opt.pipeline import OptLevel, optimize_module
-from repro.sim.machine import run_module
+from repro.sim.machine import DEFAULT_ENGINE, run_module
 
 
 @dataclass
@@ -99,13 +99,13 @@ def explore_designs(module: Module,
                     max_candidates: int = 8,
                     measure_top: int = 4,
                     unroll_factor: int = 2,
-                    cost_model: Optional[CostModel] = None
-                    ) -> ExplorationResult:
+                    cost_model: Optional[CostModel] = None,
+                    engine: str = DEFAULT_ENGINE) -> ExplorationResult:
     """Run the full feedback-driven exploration for one benchmark."""
     cost = cost_model or DEFAULT_COST_MODEL
     graph_module, _ = optimize_module(module, level,
                                       unroll_factor=unroll_factor)
-    profile = run_module(graph_module, inputs).profile
+    profile = run_module(graph_module, inputs, engine=engine).profile
     detection = detect_sequences(graph_module, profile, lengths)
 
     candidates: List[Candidate] = []
@@ -148,13 +148,19 @@ def explore_designs(module: Module,
     for _, combo in scored[:measure_top]:
         finalists.add(combo)
 
-    # Stage 2: measure each finalist on the simulator.
+    # Stage 2: measure each finalist on the simulator.  Every finalist
+    # shares the same unchained base processor, so simulate it exactly once
+    # and hand the cached result to each evaluation; the compiled engine
+    # additionally reuses the base module's compilation across finalists.
     sequential = resequence_module(graph_module)
+    base_result = run_module(sequential, inputs, engine=engine)
     for combo in sorted(finalists):
         isa = InstructionSet(cost_model=cost)
         for idx in combo:
             isa.add_chain(ChainedInstruction.from_sequence(
                 candidates[idx].pattern))
-        evaluation = evaluate_on_sequential(sequential, isa, inputs, cost)
+        evaluation = evaluate_on_sequential(sequential, isa, inputs, cost,
+                                            base_result=base_result,
+                                            engine=engine)
         result.measured.append(DesignPoint(isa=isa, evaluation=evaluation))
     return result

@@ -35,6 +35,13 @@ def _parse_levels(text: str) -> tuple:
     return tuple(sorted({int(part) for part in text.split(",")}))
 
 
+def _add_engine_arg(parser) -> None:
+    from repro.sim.machine import DEFAULT_ENGINE, ENGINES
+    parser.add_argument("--engine", choices=ENGINES, default=DEFAULT_ENGINE,
+                        help="simulation engine (default: %(default)s; "
+                             "'reference' is the tree-walking oracle)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -52,14 +59,17 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--seed", type=int, default=0)
     study.add_argument("--json", default=None,
                        help="also write the summary as JSON to this file")
+    _add_engine_arg(study)
 
     tables = sub.add_parser("tables", help="regenerate paper tables")
     tables.add_argument("which", choices=("1", "2", "3", "all"))
     tables.add_argument("--benchmarks", default=None)
+    _add_engine_arg(tables)
 
     figures = sub.add_parser("figures", help="regenerate paper figures")
     figures.add_argument("which", choices=("3", "4", "5", "6", "all"))
     figures.add_argument("--benchmarks", default=None)
+    _add_engine_arg(figures)
 
     sub.add_parser("ilp", help="ILP characterization of the suite (X1)")
 
@@ -68,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("benchmark")
     explore.add_argument("--budget", type=int, default=2500)
     explore.add_argument("--level", type=int, default=1)
+    _add_engine_arg(explore)
 
     report = sub.add_parser("report",
                             help="write a Markdown study report")
@@ -76,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--seed", type=int, default=0)
     report.add_argument("--output", default=None,
                         help="file to write (default: stdout)")
+    _add_engine_arg(report)
 
     analyze = sub.add_parser("analyze", help="analyze a mini-C file")
     analyze.add_argument("file")
@@ -85,16 +97,20 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--seed", type=int, default=0)
     analyze.add_argument("--threshold", type=float, default=4.0,
                          help="coverage threshold percent")
+    _add_engine_arg(analyze)
     return parser
 
 
 def _study_config(args) -> "StudyConfig":
     from repro.feedback.study import StudyConfig
+    from repro.sim.machine import DEFAULT_ENGINE
     benchmarks = (tuple(args.benchmarks.split(","))
                   if getattr(args, "benchmarks", None) else None)
     levels = getattr(args, "levels", (0, 1, 2))
     seed = getattr(args, "seed", 0)
-    return StudyConfig(benchmarks=benchmarks, levels=levels, seed=seed)
+    engine = getattr(args, "engine", DEFAULT_ENGINE)
+    return StudyConfig(benchmarks=benchmarks, levels=levels, seed=seed,
+                       engine=engine)
 
 
 def cmd_list(_args, out) -> int:
@@ -180,7 +196,8 @@ def cmd_explore(args, out) -> int:
     module = compile_benchmark(spec)
     inputs = spec.generate_inputs(0)
     result = explore_designs(module, inputs, area_budget=args.budget,
-                             level=OptLevel(args.level))
+                             level=OptLevel(args.level),
+                             engine=args.engine)
     print(f"{len(result.candidates)} candidate sequences under budget "
           f"{args.budget}", file=out)
     for cand in result.candidates:
@@ -220,7 +237,7 @@ def cmd_analyze(args, out) -> int:
     module = compile_source(source, args.file, filename=args.file)
     graph_module, _ = optimize_module(module, OptLevel(args.level))
     inputs = _random_inputs(module, args.seed)
-    result = run_module(graph_module, inputs)
+    result = run_module(graph_module, inputs, engine=args.engine)
     detection = detect_sequences(graph_module, result.profile,
                                  args.lengths)
     print(f"{args.file}: {result.cycles} cycles at level {args.level}, "

@@ -16,6 +16,7 @@ from repro.chaining.coverage import CoverageReport, analyze_coverage
 from repro.chaining.detect import DEFAULT_LENGTHS, DetectionResult
 from repro.errors import ReproError
 from repro.opt.pipeline import OptLevel
+from repro.sim.machine import DEFAULT_ENGINE
 from repro.suite.registry import BenchmarkSpec, all_benchmarks, get_benchmark
 from repro.suite.runner import BenchmarkRun, compile_benchmark, run_benchmark
 
@@ -30,6 +31,7 @@ class StudyConfig:
     seed: int = 0
     unroll_factor: int = 2
     verify: bool = True
+    engine: str = DEFAULT_ENGINE  # simulation engine (compiled/reference)
 
 
 @dataclass
@@ -108,6 +110,7 @@ def run_study(config: StudyConfig = StudyConfig(),
                 unroll_factor=config.unroll_factor,
                 check_against=reference if config.verify else None,
                 module=module,
+                engine=config.engine,
             )
             if level == 0 and config.verify:
                 reference = run.machine_result

@@ -8,14 +8,21 @@ pipelined graphs — and doubles as the semantic-preservation oracle (an
 optimized graph must produce bit-identical outputs).
 """
 
-from repro.sim.machine import GraphInterpreter, MachineResult, run_module
+from repro.sim.machine import (DEFAULT_ENGINE, ENGINES, GraphInterpreter,
+                               MachineResult, run_module)
+from repro.sim.engine import CompiledEngine, CompiledModule, compile_module
 from repro.sim.profile import ProfileData
 from repro.sim.memory import ArrayStorage
 
 __all__ = [
     "GraphInterpreter",
+    "CompiledEngine",
+    "CompiledModule",
+    "compile_module",
     "MachineResult",
     "run_module",
+    "DEFAULT_ENGINE",
+    "ENGINES",
     "ProfileData",
     "ArrayStorage",
 ]

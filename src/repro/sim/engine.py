@@ -1,0 +1,890 @@
+"""The compiled execution engine.
+
+:class:`~repro.sim.machine.GraphInterpreter` walks the program graph with a
+~30-arm opcode dispatch, ``isinstance`` operand checks and two dict mutations
+of profile bookkeeping for every node of every simulated cycle.  This module
+removes all of that from the hot loop by *pre-compiling* each graph into
+dispatch-free Python closures:
+
+* every :class:`~repro.ir.instr.Instruction` becomes a specialized closure
+  with its operand readers resolved at compile time — constants are inlined,
+  registers are pre-indexed into a flat list (no name-keyed dicts), array
+  storages are late-bound once per frame into a flat slot list;
+* every :class:`~repro.cfg.graph.Node` becomes one "step" closure that runs
+  its operation closures under the VLIW read/commit semantics and returns the
+  index of the control-flow edge it leaves through;
+* profile counting becomes flat per-graph integer arrays (``node_hits[i]``,
+  ``edge_hits[e]``) folded into a :class:`~repro.sim.profile.ProfileData`
+  once at the end of a run via :meth:`ProfileData.merge_arrays`.
+
+The compiled form is cached on the :class:`GraphModule` and invalidated by a
+structural signature check, so repeated runs of the same module — the
+exploration loop measures every finalist ISA on the same re-sequentialized
+base — pay compilation once.
+
+The tree-walking interpreter is kept intact as the *reference* engine (the
+semantic oracle); differential tests assert the two produce bit-identical
+results, cycle counts included, on the whole DSP suite.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.cfg.graph import GraphModule, Node, ProgramGraph
+from repro.ir.instr import Instruction
+from repro.ir.ops import Op
+from repro.ir.values import ArraySymbol, Constant, VirtualReg
+from repro.sim.machine import _MAX_CALL_DEPTH, MachineResult
+from repro.sim.memory import ArrayStorage
+from repro.sim.profile import ProfileData
+from repro.sim.values import (INTRINSIC_IMPL, float_div, int_div, int_mod,
+                              shift_left, shift_right)
+
+# -- the undefined-register sentinel ---------------------------------------------
+#
+# Register slots start out holding _UNDEF.  Any arithmetic, comparison or
+# conversion touching it raises SimulationError, mirroring the reference
+# interpreter's read-of-undefined-register guard without a per-read check.
+
+
+class _UndefinedRegister:
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<undefined register>"
+
+
+def _undef_operation(self, *_args):
+    raise SimulationError("read of undefined register")
+
+
+for _name in (
+    "__add__", "__radd__", "__sub__", "__rsub__", "__mul__", "__rmul__",
+    "__truediv__", "__rtruediv__", "__floordiv__", "__rfloordiv__",
+    "__mod__", "__rmod__", "__pow__", "__rpow__", "__neg__", "__pos__",
+    "__abs__", "__invert__", "__and__", "__rand__", "__or__", "__ror__",
+    "__xor__", "__rxor__", "__lshift__", "__rlshift__", "__rshift__",
+    "__rrshift__", "__lt__", "__le__", "__gt__", "__ge__", "__eq__",
+    "__ne__", "__bool__", "__int__", "__float__", "__index__",
+    "__round__", "__trunc__",
+):
+    setattr(_UndefinedRegister, _name, _undef_operation)
+
+_UNDEF = _UndefinedRegister()
+
+
+class _MissingArray:
+    """Placeholder bound to an array slot whose name resolves nowhere."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def load(self, _index):
+        raise SimulationError(f"unknown array {self.name!r}")
+
+    def store(self, _index, _value):
+        raise SimulationError(f"unknown array {self.name!r}")
+
+
+# -- scalar operation tables ------------------------------------------------------
+
+
+def _cmp_eq(a, b):
+    return int(a == b)
+
+
+def _cmp_ne(a, b):
+    return int(a != b)
+
+
+def _cmp_lt(a, b):
+    return int(a < b)
+
+
+def _cmp_le(a, b):
+    return int(a <= b)
+
+
+def _cmp_gt(a, b):
+    return int(a > b)
+
+
+def _cmp_ge(a, b):
+    return int(a >= b)
+
+
+_BINARY_FN = {
+    Op.ADD: operator.add,
+    Op.SUB: operator.sub,
+    Op.MUL: operator.mul,
+    Op.DIV: int_div,
+    Op.MOD: int_mod,
+    Op.AND: operator.and_,
+    Op.OR: operator.or_,
+    Op.XOR: operator.xor,
+    Op.SHL: shift_left,
+    Op.SHR: shift_right,
+    Op.CMPEQ: _cmp_eq, Op.FCMPEQ: _cmp_eq,
+    Op.CMPNE: _cmp_ne, Op.FCMPNE: _cmp_ne,
+    Op.CMPLT: _cmp_lt, Op.FCMPLT: _cmp_lt,
+    Op.CMPLE: _cmp_le, Op.FCMPLE: _cmp_le,
+    Op.CMPGT: _cmp_gt, Op.FCMPGT: _cmp_gt,
+    Op.CMPGE: _cmp_ge, Op.FCMPGE: _cmp_ge,
+    Op.FADD: operator.add,
+    Op.FSUB: operator.sub,
+    Op.FMUL: operator.mul,
+    Op.FDIV: float_div,
+}
+
+_UNARY_FN = {
+    Op.NEG: operator.neg,
+    Op.FNEG: operator.neg,
+    Op.NOT: operator.invert,
+    Op.ITOF: float,
+    Op.FTOI: int,  # C truncation
+}
+
+
+# -- per-run state ----------------------------------------------------------------
+
+
+class _RunState:
+    """Mutable state of one simulated run (shared across call frames)."""
+
+    __slots__ = ("globals", "cyc", "max_cycles", "depth",
+                 "node_hits", "edge_hits", "call_counts")
+
+    def __init__(self, globals_: Dict[str, ArrayStorage], max_cycles: int,
+                 node_hits: Dict[str, List[int]],
+                 edge_hits: Dict[str, List[int]]):
+        self.globals = globals_
+        self.cyc = [0]  # shared cycle counter cell
+        self.max_cycles = max_cycles
+        self.depth = 0
+        self.node_hits = node_hits
+        self.edge_hits = edge_hits
+        self.call_counts: Dict[str, int] = {}
+
+
+# -- structural signature (cache invalidation) ------------------------------------
+
+
+def _append_instruction(sig: List, ins: Instruction) -> None:
+    sig.append(ins)
+    sig.append(ins.op)
+    sig.append(ins.dest)
+    sig.append(ins.srcs)
+    sig.append(ins.array)
+    sig.append(ins.callee)
+    parts = getattr(ins, "parts", None)
+    if parts is not None:
+        sig.append(len(parts))
+        for part in parts:
+            _append_instruction(sig, part)
+
+
+def _structure_signature(module: GraphModule) -> List:
+    """Everything the compiled form depends on, compared with ``==``.
+
+    Instruction objects compare by identity; operand tuples compare by value
+    (equal operands compile to identical closures), so in-place operand
+    rewrites, node edits and edge edits all miss the cache while repeated
+    runs of an untouched module hit it.
+    """
+    sig: List = [tuple(module.global_arrays)]
+    for name, graph in module.graphs.items():
+        sig.append(name)
+        sig.append(graph.entry)
+        sig.append(tuple(graph.params))
+        sig.append(tuple(graph.local_arrays))
+        for nid, node in graph.nodes.items():
+            sig.append(nid)
+            sig.append(tuple(node.succs))
+            for ins in node.all_instructions():
+                _append_instruction(sig, ins)
+    return sig
+
+
+# -- graph compilation ------------------------------------------------------------
+
+
+class _GraphCompiler:
+    """Compiles one :class:`ProgramGraph` into a :class:`_CompiledGraph`."""
+
+    def __init__(self, graph: ProgramGraph, module: GraphModule,
+                 cmod: "CompiledModule"):
+        self.graph = graph
+        self.module = module
+        self.cmod = cmod
+        # Register slot 0 is reserved for the frame's return value.
+        self.reg_slots: Dict[str, int] = {}
+        self.arr_slots: Dict[str, int] = {}
+        self.global_plan: List[Tuple[int, str]] = []
+        self.missing_plan: List[Tuple[int, _MissingArray]] = []
+
+    # -- slot assignment ----------------------------------------------------------
+
+    def reg_slot(self, name: str) -> int:
+        slot = self.reg_slots.get(name)
+        if slot is None:
+            slot = len(self.reg_slots) + 1
+            self.reg_slots[name] = slot
+        return slot
+
+    def _new_arr_slot(self, name: str) -> int:
+        slot = len(self.arr_slots)
+        self.arr_slots[name] = slot
+        return slot
+
+    def arr_slot(self, name: str) -> int:
+        """Slot for *name*, late-binding globals / flagging unknown names."""
+        slot = self.arr_slots.get(name)
+        if slot is not None:
+            return slot
+        slot = self._new_arr_slot(name)
+        if name in self.module.global_arrays:
+            self.global_plan.append((slot, name))
+        else:
+            self.missing_plan.append((slot, _MissingArray(name)))
+        return slot
+
+    # -- operand readers ----------------------------------------------------------
+
+    def scalar_reader(self, operand):
+        """Compile a ``(regs) -> value`` reader for one scalar operand."""
+        if isinstance(operand, Constant):
+            value = operand.value
+            return lambda regs: value
+        if isinstance(operand, VirtualReg):
+            i = self.reg_slot(operand.name)
+            return lambda regs: regs[i]
+
+        def unreadable(regs, _operand=operand):
+            raise SimulationError(f"cannot read operand {_operand!r}")
+        return unreadable
+
+    def checked_reader(self, operand):
+        """Like :meth:`scalar_reader` but rejects undefined registers with
+        the reference interpreter's error message (used where the value
+        would otherwise escape uninspected: returns and call arguments)."""
+        if isinstance(operand, VirtualReg):
+            i = self.reg_slot(operand.name)
+            name = operand.name
+
+            def read(regs):
+                value = regs[i]
+                if value is _UNDEF:
+                    raise SimulationError(
+                        f"read of undefined register {name!r}")
+                return value
+            return read
+        return self.scalar_reader(operand)
+
+    # -- value producers ----------------------------------------------------------
+
+    def compile_value(self, ins: Instruction):
+        """Compile a ``(regs, arr) -> value`` closure, or ``None`` when the
+        opcode does not produce a value (stores, calls, chains, nops)."""
+        op = ins.op
+        fn = _BINARY_FN.get(op)
+        if fn is not None:
+            return self._binary(fn, ins.srcs[0], ins.srcs[1])
+        fn = _UNARY_FN.get(op)
+        if fn is not None:
+            read = self.scalar_reader(ins.srcs[0])
+            return lambda regs, arr: fn(read(regs))
+        if op is Op.MOV or op is Op.FMOV:
+            src = ins.srcs[0]
+            if isinstance(src, Constant):
+                value = src.value
+                return lambda regs, arr: value
+            # A move never coerces its operand, so the _UNDEF sentinel
+            # would propagate silently; the checked reader keeps the
+            # reference interpreter's undefined-register error.
+            read = self.checked_reader(src)
+            return lambda regs, arr: read(regs)
+        if op is Op.LOAD or op is Op.FLOAD:
+            k = self.arr_slot(ins.array.name)
+            index = self.scalar_reader(ins.srcs[0])
+            return lambda regs, arr: arr[k].load(index(regs))
+        if op is Op.INTRIN:
+            return self._intrinsic(ins)
+        return None
+
+    def _binary(self, fn, lhs, rhs):
+        lhs_reg = isinstance(lhs, VirtualReg)
+        rhs_reg = isinstance(rhs, VirtualReg)
+        if lhs_reg and rhs_reg:
+            i = self.reg_slot(lhs.name)
+            j = self.reg_slot(rhs.name)
+            return lambda regs, arr: fn(regs[i], regs[j])
+        if lhs_reg and isinstance(rhs, Constant):
+            i = self.reg_slot(lhs.name)
+            b = rhs.value
+            return lambda regs, arr: fn(regs[i], b)
+        if isinstance(lhs, Constant) and rhs_reg:
+            a = lhs.value
+            j = self.reg_slot(rhs.name)
+            return lambda regs, arr: fn(a, regs[j])
+        # Constant/constant (kept runtime: division by zero must still raise
+        # only when executed) and malformed operands.
+        read_a = self.scalar_reader(lhs)
+        read_b = self.scalar_reader(rhs)
+        return lambda regs, arr: fn(read_a(regs), read_b(regs))
+
+    def _intrinsic(self, ins: Instruction):
+        impl = INTRINSIC_IMPL.get(ins.callee)
+        if impl is None:
+            callee = ins.callee
+
+            def unknown(regs, arr):
+                raise SimulationError(f"unknown intrinsic {callee!r}")
+            return unknown
+        readers = [self.scalar_reader(src) for src in ins.srcs]
+        if len(readers) == 1:
+            read = readers[0]
+            return lambda regs, arr: impl(read(regs))
+        if len(readers) == 2:
+            read_a, read_b = readers
+            return lambda regs, arr: impl(read_a(regs), read_b(regs))
+        return lambda regs, arr: impl(*(read(regs) for read in readers))
+
+    # -- whole-instruction execution ----------------------------------------------
+
+    def compile_exec(self, ins: Instruction):
+        """Compile ``(regs, arr, regw, stw) -> None`` deferring writes into
+        the pending lists — the general read-phase form."""
+        compute = self.compile_value(ins)
+        if compute is not None:
+            if ins.dest is not None:
+                d = self.reg_slot(ins.dest.name)
+
+                def run(regs, arr, regw, stw):
+                    regw.append((d, compute(regs, arr)))
+                return run
+
+            def run(regs, arr, regw, stw):
+                compute(regs, arr)
+            return run
+        op = ins.op
+        if op is Op.STORE or op is Op.FSTORE:
+            k = self.arr_slot(ins.array.name)
+            index = self.scalar_reader(ins.srcs[1])
+            value = self.scalar_reader(ins.srcs[0])
+
+            def run(regs, arr, regw, stw):
+                stw.append((arr[k], index(regs), value(regs)))
+            return run
+        if op is Op.CALL:
+            return self._call(ins)
+        if op is Op.CHAIN and getattr(ins, "parts", None) is not None:
+            imm = self.compile_immediate(ins)
+
+            def run(regs, arr, regw, stw):
+                imm(regs, arr)
+            return run
+        if op is Op.NOP:
+            def run(regs, arr, regw, stw):
+                pass
+            return run
+
+        def unexecutable(regs, arr, regw, stw, _ins=ins):
+            raise SimulationError(f"cannot execute {_ins}")
+        return unexecutable
+
+    def compile_immediate(self, ins: Instruction):
+        """Compile ``(regs, arr) -> None`` committing writes immediately —
+        the form chain parts execute in (operand forwarding)."""
+        compute = self.compile_value(ins)
+        if compute is not None:
+            if ins.dest is not None:
+                d = self.reg_slot(ins.dest.name)
+
+                def run(regs, arr):
+                    regs[d] = compute(regs, arr)
+                return run
+
+            def run(regs, arr):
+                compute(regs, arr)
+            return run
+        op = ins.op
+        if op is Op.STORE or op is Op.FSTORE:
+            k = self.arr_slot(ins.array.name)
+            index = self.scalar_reader(ins.srcs[1])
+            value = self.scalar_reader(ins.srcs[0])
+
+            def run(regs, arr):
+                arr[k].store(index(regs), value(regs))
+            return run
+        if op is Op.CHAIN and getattr(ins, "parts", None) is not None:
+            parts = [self.compile_immediate(part) for part in ins.parts]
+            if len(parts) == 2:
+                first, second = parts
+
+                def run(regs, arr):
+                    first(regs, arr)
+                    second(regs, arr)
+                return run
+            if len(parts) == 3:
+                first, second, third = parts
+
+                def run(regs, arr):
+                    first(regs, arr)
+                    second(regs, arr)
+                    third(regs, arr)
+                return run
+
+            def run(regs, arr):
+                for part in parts:
+                    part(regs, arr)
+            return run
+        if op is Op.NOP:
+            def run(regs, arr):
+                pass
+            return run
+        # Calls and anything exotic: run the general form, then commit —
+        # exactly the per-part commit the reference interpreter performs.
+        execute = self.compile_exec(ins)
+
+        def run(regs, arr):
+            regw: List = []
+            stw: List = []
+            execute(regs, arr, regw, stw)
+            for d, v in regw:
+                regs[d] = v
+            for storage, i, v in stw:
+                storage.store(i, v)
+        return run
+
+    def _call(self, ins: Instruction):
+        cmod = self.cmod
+        callee = ins.callee
+        getters = []
+        for src in ins.srcs:
+            if isinstance(src, ArraySymbol):
+                name = src.name
+                if name in self.arr_slots or name in self.module.global_arrays:
+                    k = self.arr_slot(name)
+                    getters.append(lambda regs, arr, _k=k: arr[_k])
+                else:
+                    def unbound(regs, arr, _name=name):
+                        raise SimulationError(
+                            f"array argument {_name!r} is not bound")
+                    getters.append(unbound)
+            else:
+                read = self.checked_reader(src)
+                getters.append(lambda regs, arr, _r=read: _r(regs))
+        d = self.reg_slot(ins.dest.name) if ins.dest is not None else None
+
+        def run(regs, arr, regw, stw):
+            target = cmod.graphs.get(callee)
+            if target is None:
+                raise SimulationError(
+                    f"call to unknown function {callee!r}")
+            args = [getter(regs, arr) for getter in getters]
+            value = _run_graph(cmod, target, args)
+            if d is not None:
+                regw.append((d, value))
+        return run
+
+    # -- node steps ---------------------------------------------------------------
+
+    def compile_step(self, nid: int, node: Node, edge_base: int):
+        """Compile one node into a ``(regs, arr) -> edge_index`` closure.
+
+        The step executes the node's read phase, commits register writes
+        then stores, and returns the index of the control-flow edge taken
+        (``-1`` means return; the return value is left in ``regs[0]``).
+        """
+        control = node.control
+        ops = node.ops
+
+        # Control compilation.
+        if control is not None and control.op is Op.RET:
+            if control.srcs:
+                read_ret = self.checked_reader(control.srcs[0])
+            else:
+                read_ret = lambda regs: None
+            return self._step_ret(ops, read_ret)
+        if control is not None and control.op is Op.BR:
+            taken = self._branch_taken(control.srcs[0])
+            edges = tuple(range(edge_base, edge_base + len(node.succs)))
+            return self._step_branch(ops, taken, edges)
+        if len(node.succs) == 1:
+            return self._step_fall(ops, edge_base)
+        fn_name = self.graph.name
+        n_succs = len(node.succs)
+
+        def bad_successors(regs, arr):
+            raise SimulationError(
+                f"{fn_name}: node {nid} has {n_succs} successors "
+                f"but no branch")
+        return bad_successors
+
+    def _branch_taken(self, operand):
+        """Compile the branch condition into a ``(regs) -> bool`` closure."""
+        if isinstance(operand, Constant):
+            taken = operand.value != 0
+            return lambda regs: taken
+        read = self.scalar_reader(operand)
+        return lambda regs: read(regs) != 0
+
+    def _classify(self, ops: Sequence[Instruction]):
+        """Split *ops* into (computes, dests) when every op is a pure value
+        producer with a destination; otherwise return ``None`` (the node
+        needs the general pending-write form)."""
+        computes = []
+        dests = []
+        for ins in ops:
+            if ins.op is Op.CHAIN or ins.dest is None:
+                return None
+            compute = self.compile_value(ins)
+            if compute is None:
+                return None
+            computes.append(compute)
+            dests.append(self.reg_slot(ins.dest.name))
+        return computes, dests
+
+    def _generic_execs(self, ops: Sequence[Instruction]):
+        return [self.compile_exec(ins) for ins in ops]
+
+    def _step_fall(self, ops, edge: int):
+        if not ops:
+            return lambda regs, arr: edge
+        if len(ops) == 1:
+            ins = ops[0]
+            if ins.op is Op.CHAIN and getattr(ins, "parts", None) is not None:
+                imm = self.compile_immediate(ins)
+
+                def step(regs, arr):
+                    imm(regs, arr)
+                    return edge
+                return step
+            if ins.op is Op.STORE or ins.op is Op.FSTORE:
+                k = self.arr_slot(ins.array.name)
+                index = self.scalar_reader(ins.srcs[1])
+                value = self.scalar_reader(ins.srcs[0])
+
+                def step(regs, arr):
+                    i = index(regs)
+                    v = value(regs)
+                    arr[k].store(i, v)
+                    return edge
+                return step
+        pure = self._classify(ops)
+        if pure is not None:
+            computes, dests = pure
+            if len(computes) == 1:
+                compute, = computes
+                d, = dests
+
+                def step(regs, arr):
+                    regs[d] = compute(regs, arr)
+                    return edge
+                return step
+            if len(computes) == 2:
+                c0, c1 = computes
+                d0, d1 = dests
+
+                def step(regs, arr):
+                    v0 = c0(regs, arr)
+                    v1 = c1(regs, arr)
+                    regs[d0] = v0
+                    regs[d1] = v1
+                    return edge
+                return step
+
+            def step(regs, arr):
+                values = [compute(regs, arr) for compute in computes]
+                for d, v in zip(dests, values):
+                    regs[d] = v
+                return edge
+            return step
+        execs = self._generic_execs(ops)
+
+        def step(regs, arr):
+            regw: List = []
+            stw: List = []
+            for execute in execs:
+                execute(regs, arr, regw, stw)
+            for d, v in regw:
+                regs[d] = v
+            for storage, i, v in stw:
+                storage.store(i, v)
+            return edge
+        return step
+
+    def _step_branch(self, ops, taken, edges: Tuple[int, ...]):
+        if not ops:
+            def step(regs, arr):
+                return edges[0] if taken(regs) else edges[1]
+            return step
+        pure = self._classify(ops)
+        if pure is not None:
+            computes, dests = pure
+            if len(computes) == 1:
+                compute, = computes
+                d, = dests
+
+                def step(regs, arr):
+                    v = compute(regs, arr)
+                    t = taken(regs)
+                    regs[d] = v
+                    return edges[0] if t else edges[1]
+                return step
+
+            def step(regs, arr):
+                values = [compute(regs, arr) for compute in computes]
+                t = taken(regs)
+                for d, v in zip(dests, values):
+                    regs[d] = v
+                return edges[0] if t else edges[1]
+            return step
+        execs = self._generic_execs(ops)
+
+        def step(regs, arr):
+            regw: List = []
+            stw: List = []
+            for execute in execs:
+                execute(regs, arr, regw, stw)
+            t = taken(regs)
+            for d, v in regw:
+                regs[d] = v
+            for storage, i, v in stw:
+                storage.store(i, v)
+            return edges[0] if t else edges[1]
+        return step
+
+    def _step_ret(self, ops, read_ret):
+        if not ops:
+            def step(regs, arr):
+                regs[0] = read_ret(regs)
+                return -1
+            return step
+        execs = self._generic_execs(ops)
+
+        def step(regs, arr):
+            regw: List = []
+            stw: List = []
+            for execute in execs:
+                execute(regs, arr, regw, stw)
+            value = read_ret(regs)
+            for d, v in regw:
+                regs[d] = v
+            for storage, i, v in stw:
+                storage.store(i, v)
+            regs[0] = value
+            return -1
+        return step
+
+
+class _CompiledGraph:
+    """One function graph compiled to closures."""
+
+    __slots__ = ("name", "param_plan", "local_plan", "global_plan",
+                 "missing_plan", "n_regs", "n_arrays", "n_params",
+                 "steps", "edge_dst", "edge_pairs", "node_ids", "entry_idx")
+
+    def __init__(self, graph: ProgramGraph, module: GraphModule,
+                 cmod: "CompiledModule"):
+        compiler = _GraphCompiler(graph, module, cmod)
+        self.name = graph.name
+        self.n_params = len(graph.params)
+
+        # Parameters claim their slots first (locals of the same name
+        # shadow them, matching the reference interpreter's frame dict).
+        param_plan: List[Tuple[bool, int, str]] = []
+        for param in graph.params:
+            if isinstance(param, VirtualReg):
+                param_plan.append(
+                    (True, compiler.reg_slot(param.name), param.name))
+            else:
+                slot = compiler.arr_slots.get(param.name)
+                if slot is None:
+                    slot = compiler._new_arr_slot(param.name)
+                param_plan.append((False, slot, param.name))
+        self.param_plan = param_plan
+        local_plan = []
+        for symbol in graph.local_arrays:
+            slot = compiler.arr_slots.get(symbol.name)
+            if slot is None:
+                slot = compiler._new_arr_slot(symbol.name)
+            local_plan.append((slot, symbol))
+        self.local_plan = local_plan
+
+        # Compile every node; edge indices are assigned in node order.
+        node_ids: List[int] = list(graph.nodes)
+        idx_of = {node_id: i for i, node_id in enumerate(node_ids)}
+        steps: List = []
+        edge_dst: List[int] = []
+        edge_pairs: List[Tuple[int, int]] = []
+        dangling: List[Tuple[int, int]] = []  # (edge index, missing node id)
+        for nid in node_ids:
+            node = graph.nodes[nid]
+            steps.append(compiler.compile_step(nid, node, len(edge_dst)))
+            for succ in node.succs:
+                edge_pairs.append((nid, succ))
+                dst = idx_of.get(succ)
+                if dst is None:
+                    dangling.append((len(edge_dst), succ))
+                    dst = -1
+                edge_dst.append(dst)
+        for edge_index, missing in dangling:
+            def bad_target(regs, arr, _missing=missing):
+                raise SimulationError(f"unknown node {_missing}")
+            edge_dst[edge_index] = len(steps)
+            steps.append(bad_target)
+
+        self.steps = steps
+        self.edge_dst = edge_dst
+        self.edge_pairs = edge_pairs
+        self.node_ids = node_ids
+        self.entry_idx = idx_of.get(graph.entry, -1)
+        self.global_plan = compiler.global_plan
+        self.missing_plan = compiler.missing_plan
+        self.n_regs = len(compiler.reg_slots) + 1
+        self.n_arrays = len(compiler.arr_slots)
+
+
+class CompiledModule:
+    """All graphs of one :class:`GraphModule` in compiled form."""
+
+    def __init__(self, module: GraphModule):
+        self.module = module
+        self.graphs: Dict[str, _CompiledGraph] = {}
+        self._state: Optional[_RunState] = None
+        for name, graph in module.graphs.items():
+            self.graphs[name] = _CompiledGraph(graph, module, self)
+        self._signature = _structure_signature(module)
+
+
+def compile_module(module: GraphModule) -> CompiledModule:
+    """Compiled form of *module*, cached on the module itself.
+
+    The cache is validated against a structural signature, so the
+    exploration loop's repeated runs reuse compilation while any graph
+    mutation (chain selection, optimizer passes) triggers a recompile.
+    """
+    cached = module.__dict__.get("_compiled_cache")
+    if cached is not None \
+            and cached._signature == _structure_signature(module):
+        return cached
+    compiled = CompiledModule(module)
+    module._compiled_cache = compiled
+    return compiled
+
+
+# -- execution --------------------------------------------------------------------
+
+
+def _run_graph(cmod: CompiledModule, cg: _CompiledGraph, args: List):
+    state = cmod._state
+    depth = state.depth
+    if depth > _MAX_CALL_DEPTH:
+        raise SimulationError(
+            f"call depth exceeded in {cg.name!r} (runaway recursion?)")
+    state.call_counts[cg.name] = state.call_counts.get(cg.name, 0) + 1
+    if len(args) != cg.n_params:
+        raise SimulationError(
+            f"{cg.name!r} expects {cg.n_params} arguments, "
+            f"got {len(args)}")
+
+    regs: List = [_UNDEF] * cg.n_regs
+    arr: List = [None] * cg.n_arrays
+    for (is_reg, slot, name), value in zip(cg.param_plan, args):
+        if is_reg:
+            regs[slot] = value
+        else:
+            if not isinstance(value, ArrayStorage):
+                raise SimulationError(
+                    f"{cg.name!r}: array parameter {name!r} "
+                    f"bound to non-array {value!r}")
+            arr[slot] = value
+    for slot, symbol in cg.local_plan:
+        arr[slot] = ArrayStorage(symbol)
+    module_globals = state.globals
+    for slot, name in cg.global_plan:
+        arr[slot] = module_globals[name]
+    for slot, placeholder in cg.missing_plan:
+        arr[slot] = placeholder
+
+    idx = cg.entry_idx
+    if idx < 0:
+        raise SimulationError(f"{cg.name!r} has no entry node")
+    steps = cg.steps
+    edge_dst = cg.edge_dst
+    hits = state.node_hits[cg.name]
+    edge_hits = state.edge_hits[cg.name]
+    cyc = state.cyc
+    limit = state.max_cycles
+    state.depth = depth + 1
+    try:
+        while True:
+            count = cyc[0] + 1
+            cyc[0] = count
+            if count > limit:
+                raise SimulationError(
+                    f"cycle limit ({limit}) exceeded; "
+                    f"infinite loop in {cg.name!r}?")
+            hits[idx] += 1
+            edge = steps[idx](regs, arr)
+            if edge < 0:
+                return regs[0]
+            edge_hits[edge] += 1
+            idx = edge_dst[edge]
+    finally:
+        state.depth = depth
+
+
+class CompiledEngine:
+    """Drop-in replacement for :class:`GraphInterpreter` (compiled)."""
+
+    def __init__(self, module: GraphModule, max_cycles: int = 200_000_000):
+        self.module = module
+        self.max_cycles = max_cycles
+        self.compiled = compile_module(module)
+
+    def run(self, inputs: Optional[Dict[str, Sequence]] = None
+            ) -> MachineResult:
+        """Execute ``main`` with globals bound to *inputs*."""
+        module = self.module
+        globals_: Dict[str, ArrayStorage] = {}
+        for name, symbol in module.global_arrays.items():
+            init = module.array_initializers.get(name)
+            globals_[name] = ArrayStorage(symbol, init)
+        if inputs:
+            for name, values in inputs.items():
+                if name not in globals_:
+                    raise SimulationError(
+                        f"input {name!r} does not match any global array")
+                globals_[name].fill_from(values)
+
+        entry = module.entry
+        cmod = self.compiled
+        state = _RunState(
+            globals_, self.max_cycles,
+            {name: [0] * len(cg.steps)
+             for name, cg in cmod.graphs.items()},
+            {name: [0] * len(cg.edge_pairs)
+             for name, cg in cmod.graphs.items()})
+        previous = cmod._state
+        cmod._state = state
+        try:
+            ret = _run_graph(cmod, cmod.graphs[entry.name], [])
+        finally:
+            cmod._state = previous
+
+        snapshot = {name: storage.snapshot()
+                    for name, storage in globals_.items()}
+        profile = ProfileData()
+        for name, cg in cmod.graphs.items():
+            profile.merge_arrays(name, cg.node_ids, state.node_hits[name],
+                                 cg.edge_pairs, state.edge_hits[name])
+        for name, count in state.call_counts.items():
+            profile.call_counts[name] = count
+        return MachineResult(ret, snapshot, profile)

@@ -313,8 +313,30 @@ class GraphInterpreter:
         return self._run_graph(callee, args, depth + 1)
 
 
+#: Engines ``run_module`` can dispatch to.  ``"compiled"`` is the
+#: closure-specialized engine (:mod:`repro.sim.engine`); ``"reference"``
+#: is the tree-walking :class:`GraphInterpreter`, kept as the semantic
+#: oracle the compiled engine is differentially tested against.
+ENGINES = ("compiled", "reference")
+
+DEFAULT_ENGINE = "compiled"
+
+
 def run_module(module: GraphModule,
                inputs: Optional[Dict[str, Sequence]] = None,
-               max_cycles: int = 200_000_000) -> MachineResult:
-    """Convenience wrapper: interpret *module* once."""
-    return GraphInterpreter(module, max_cycles).run(inputs)
+               max_cycles: int = 200_000_000,
+               engine: str = DEFAULT_ENGINE) -> MachineResult:
+    """Simulate *module* once on the selected *engine*.
+
+    Both engines produce bit-identical :class:`MachineResult`\\ s (return
+    value, memory state and profile); the compiled engine caches its
+    compilation on the module, so repeated runs — the exploration loop,
+    the study matrix — only pay compilation once.
+    """
+    if engine == "compiled":
+        from repro.sim.engine import CompiledEngine
+        return CompiledEngine(module, max_cycles).run(inputs)
+    if engine == "reference":
+        return GraphInterpreter(module, max_cycles).run(inputs)
+    raise SimulationError(
+        f"unknown engine {engine!r} (expected one of {ENGINES})")

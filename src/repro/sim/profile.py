@@ -15,7 +15,7 @@ keeps a single identity across optimization levels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.cfg.graph import GraphModule, ProgramGraph
 
@@ -35,17 +35,40 @@ class ProfileData:
     # -- recording (used by the interpreter) --------------------------------------
 
     def count_node(self, fn: str, node_id: int) -> None:
-        self.node_counts.setdefault(fn, {})
-        self.node_counts[fn][node_id] = \
-            self.node_counts[fn].get(node_id, 0) + 1
+        counts = self.node_counts.setdefault(fn, {})
+        counts[node_id] = counts.get(node_id, 0) + 1
 
     def count_edge(self, fn: str, src: int, dst: int) -> None:
-        self.edge_counts.setdefault(fn, {})
+        counts = self.edge_counts.setdefault(fn, {})
         key = (src, dst)
-        self.edge_counts[fn][key] = self.edge_counts[fn].get(key, 0) + 1
+        counts[key] = counts.get(key, 0) + 1
 
     def count_call(self, fn: str) -> None:
         self.call_counts[fn] = self.call_counts.get(fn, 0) + 1
+
+    def merge_arrays(self, fn: str,
+                     node_ids: Sequence[int], node_hits: Sequence[int],
+                     edge_pairs: Sequence[Tuple[int, int]],
+                     edge_hits: Sequence[int]) -> None:
+        """Fold the compiled engine's flat per-graph counters in one pass.
+
+        ``node_hits[i]`` is the execution count of ``node_ids[i]`` and
+        ``edge_hits[i]`` the traversal count of ``edge_pairs[i]``.  Zero
+        counters are skipped so the folded dicts are indistinguishable from
+        the ones the reference interpreter builds incrementally.
+        """
+        counts = None
+        for node_id, hit in zip(node_ids, node_hits):
+            if hit:
+                if counts is None:
+                    counts = self.node_counts.setdefault(fn, {})
+                counts[node_id] = counts.get(node_id, 0) + hit
+        counts = None
+        for pair, hit in zip(edge_pairs, edge_hits):
+            if hit:
+                if counts is None:
+                    counts = self.edge_counts.setdefault(fn, {})
+                counts[pair] = counts.get(pair, 0) + hit
 
     # -- queries -------------------------------------------------------------------
 

@@ -18,7 +18,7 @@ from repro.errors import OptimizationError
 from repro.frontend import compile_source
 from repro.ir.module import Module
 from repro.opt.pipeline import OptLevel, OptimizationReport, optimize_module
-from repro.sim.machine import MachineResult, run_module
+from repro.sim.machine import DEFAULT_ENGINE, MachineResult, run_module
 from repro.suite.registry import BenchmarkSpec
 
 
@@ -62,13 +62,16 @@ def run_benchmark(spec: BenchmarkSpec,
                   seed: int = 0,
                   unroll_factor: int = 2,
                   check_against: Optional[MachineResult] = None,
-                  module: Optional[Module] = None) -> BenchmarkRun:
+                  module: Optional[Module] = None,
+                  engine: str = DEFAULT_ENGINE) -> BenchmarkRun:
     """Compile, optimize, simulate and analyze one benchmark.
 
     ``check_against`` (typically the level-0 run's machine result) enables
     the semantic-preservation oracle: differing outputs raise
     :class:`~repro.errors.OptimizationError`.  Pass a pre-compiled
     ``module`` to skip the front end when running several levels.
+    ``engine`` selects the simulation engine (see
+    :func:`~repro.sim.machine.run_module`).
     """
     level = OptLevel(level)
     if module is None:
@@ -76,7 +79,7 @@ def run_benchmark(spec: BenchmarkSpec,
     graph_module, report = optimize_module(module, level,
                                            unroll_factor=unroll_factor)
     inputs = spec.generate_inputs(seed)
-    result = run_module(graph_module, inputs)
+    result = run_module(graph_module, inputs, engine=engine)
     if check_against is not None:
         if result.globals_after != check_against.globals_after \
                 or result.return_value != check_against.return_value:
