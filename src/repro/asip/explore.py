@@ -34,6 +34,7 @@ from repro.chaining.detect import detect_sequences
 from repro.chaining.frequency import dynamic_frequency
 from repro.chaining.sequence import SequenceName, sequence_label
 from repro.errors import AsipError
+from repro.exec.pool import parallel_map
 from repro.ir.module import Module
 from repro.opt.pipeline import OptLevel, optimize_module
 from repro.sim.machine import DEFAULT_ENGINE, run_module
@@ -91,6 +92,24 @@ class ExplorationResult:
         return max(self.measured, key=lambda p: p.speedup)
 
 
+def _isa_for(patterns: Sequence[SequenceName],
+             cost: CostModel) -> InstructionSet:
+    isa = InstructionSet(cost_model=cost)
+    for pattern in patterns:
+        isa.add_chain(ChainedInstruction.from_sequence(pattern))
+    return isa
+
+
+def _measure_finalist(task) -> Tuple[InstructionSet, AsipEvaluation]:
+    """Measure one finalist ISA (module-level: runs in pool workers)."""
+    sequential, patterns, inputs, cost, base_result, engine = task
+    isa = _isa_for(patterns, cost)
+    evaluation = evaluate_on_sequential(sequential, isa, inputs, cost,
+                                        base_result=base_result,
+                                        engine=engine)
+    return isa, evaluation
+
+
 def explore_designs(module: Module,
                     inputs: Optional[dict] = None,
                     area_budget: int = 3000,
@@ -100,8 +119,16 @@ def explore_designs(module: Module,
                     measure_top: int = 4,
                     unroll_factor: int = 2,
                     cost_model: Optional[CostModel] = None,
-                    engine: str = DEFAULT_ENGINE) -> ExplorationResult:
-    """Run the full feedback-driven exploration for one benchmark."""
+                    engine: str = DEFAULT_ENGINE,
+                    jobs: Optional[int] = None) -> ExplorationResult:
+    """Run the full feedback-driven exploration for one benchmark.
+
+    ``jobs`` parallelizes stage 2, the finalist measurements — each
+    finalist's chain selection and simulation is independent given the
+    shared base-processor result, so they fan out across a process pool.
+    The measured design points come back in the same deterministic
+    finalist order as the serial loop (``jobs=None``/1, bit-identical).
+    """
     cost = cost_model or DEFAULT_COST_MODEL
     graph_module, _ = optimize_module(module, level,
                                       unroll_factor=unroll_factor)
@@ -152,15 +179,17 @@ def explore_designs(module: Module,
     # shares the same unchained base processor, so simulate it exactly once
     # and hand the cached result to each evaluation; the compiled engine
     # additionally reuses the base module's compilation across finalists.
+    # With jobs > 1 the finalists are measured on a process pool.
     sequential = resequence_module(graph_module)
     base_result = run_module(sequential, inputs, engine=engine)
-    for combo in sorted(finalists):
-        isa = InstructionSet(cost_model=cost)
-        for idx in combo:
-            isa.add_chain(ChainedInstruction.from_sequence(
-                candidates[idx].pattern))
-        evaluation = evaluate_on_sequential(sequential, isa, inputs, cost,
-                                            base_result=base_result,
-                                            engine=engine)
+    combos = sorted(finalists)
+    patterns = [tuple(candidates[idx].pattern for idx in combo)
+                for combo in combos]
+    measured = parallel_map(
+        _measure_finalist,
+        [(sequential, pats, inputs, cost, base_result, engine)
+         for pats in patterns],
+        jobs=jobs)
+    for isa, evaluation in measured:
         result.measured.append(DesignPoint(isa=isa, evaluation=evaluation))
     return result

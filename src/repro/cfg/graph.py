@@ -302,6 +302,14 @@ class GraphModule:
             self.global_scalars,
         )
 
+    def __getstate__(self):
+        # The compiled-engine cache holds closures, which cannot cross a
+        # pickle boundary (the study executor ships modules to worker
+        # processes); each process recompiles on first run instead.
+        state = self.__dict__.copy()
+        state.pop("_compiled_cache", None)
+        return state
+
     def __repr__(self) -> str:
         return (f"<GraphModule {self.name}: {len(self.graphs)} graphs, "
                 f"{self.total_nodes()} nodes>")

@@ -35,11 +35,30 @@ def _parse_levels(text: str) -> tuple:
     return tuple(sorted({int(part) for part in text.split(",")}))
 
 
+def _parse_seeds(text: str) -> tuple:
+    # Order is kept: the first seed is the primary result.
+    return tuple(int(part) for part in text.split(",") if part.strip())
+
+
 def _add_engine_arg(parser) -> None:
     from repro.sim.machine import DEFAULT_ENGINE, ENGINES
     parser.add_argument("--engine", choices=ENGINES, default=DEFAULT_ENGINE,
                         help="simulation engine (default: %(default)s; "
                              "'reference' is the tree-walking oracle)")
+
+
+def _add_jobs_arg(parser) -> None:
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the study matrix "
+                             "(default: $REPRO_JOBS or 1 = serial, "
+                             "bit-identical to any N; 0 = all cores)")
+
+
+def _add_seeds_arg(parser) -> None:
+    parser.add_argument("--seeds", type=_parse_seeds, default=None,
+                        help="comma-separated input seeds batched through "
+                             "one compiled program per cell (first seed "
+                             "is the primary; default: --seed only)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,16 +79,22 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--json", default=None,
                        help="also write the summary as JSON to this file")
     _add_engine_arg(study)
+    _add_jobs_arg(study)
+    _add_seeds_arg(study)
 
     tables = sub.add_parser("tables", help="regenerate paper tables")
     tables.add_argument("which", choices=("1", "2", "3", "all"))
     tables.add_argument("--benchmarks", default=None)
     _add_engine_arg(tables)
+    _add_jobs_arg(tables)
+    _add_seeds_arg(tables)
 
     figures = sub.add_parser("figures", help="regenerate paper figures")
     figures.add_argument("which", choices=("3", "4", "5", "6", "all"))
     figures.add_argument("--benchmarks", default=None)
     _add_engine_arg(figures)
+    _add_jobs_arg(figures)
+    _add_seeds_arg(figures)
 
     sub.add_parser("ilp", help="ILP characterization of the suite (X1)")
 
@@ -79,6 +104,7 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--budget", type=int, default=2500)
     explore.add_argument("--level", type=int, default=1)
     _add_engine_arg(explore)
+    _add_jobs_arg(explore)
 
     report = sub.add_parser("report",
                             help="write a Markdown study report")
@@ -88,6 +114,8 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default=None,
                         help="file to write (default: stdout)")
     _add_engine_arg(report)
+    _add_jobs_arg(report)
+    _add_seeds_arg(report)
 
     analyze = sub.add_parser("analyze", help="analyze a mini-C file")
     analyze.add_argument("file")
@@ -110,7 +138,9 @@ def _study_config(args) -> "StudyConfig":
     seed = getattr(args, "seed", 0)
     engine = getattr(args, "engine", DEFAULT_ENGINE)
     return StudyConfig(benchmarks=benchmarks, levels=levels, seed=seed,
-                       engine=engine)
+                       engine=engine,
+                       seeds=getattr(args, "seeds", None),
+                       jobs=getattr(args, "jobs", None))
 
 
 def cmd_list(_args, out) -> int:
@@ -197,7 +227,7 @@ def cmd_explore(args, out) -> int:
     inputs = spec.generate_inputs(0)
     result = explore_designs(module, inputs, area_budget=args.budget,
                              level=OptLevel(args.level),
-                             engine=args.engine)
+                             engine=args.engine, jobs=args.jobs)
     print(f"{len(result.candidates)} candidate sequences under budget "
           f"{args.budget}", file=out)
     for cand in result.candidates:

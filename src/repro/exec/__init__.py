@@ -1,0 +1,33 @@
+"""Study execution subsystem: pools, scheduling, parallel studies.
+
+The experimental matrix (every benchmark × optimization level, multiple
+input seeds) is pure CPU-bound simulation, so scaling it means process
+parallelism plus batching:
+
+* :mod:`repro.exec.pool` — ``jobs=`` knob resolution (``None`` defers to
+  ``$REPRO_JOBS``, ``0`` means all cores) and an order-preserving
+  ``parallel_map``;
+* :mod:`repro.exec.scheduler` — a dependency-aware task scheduler (the
+  level-0 semantic oracle gates levels 1/2 of each benchmark);
+* :mod:`repro.exec.study` — the parallel ``run_study`` executor built on
+  both.
+
+Everything here preserves the serial-equivalence guarantee: ``jobs=N``
+produces results bit-identical to ``jobs=1`` — profiles included —
+because workers run the same per-cell code and the parent reassembles
+results in canonical order, never completion order.
+"""
+
+from repro.exec.pool import (JOBS_ENV_VAR, available_cpus, parallel_map,
+                             resolve_jobs)
+from repro.exec.scheduler import ScheduleStats, Task, run_tasks
+
+__all__ = [
+    "JOBS_ENV_VAR",
+    "available_cpus",
+    "parallel_map",
+    "resolve_jobs",
+    "ScheduleStats",
+    "Task",
+    "run_tasks",
+]

@@ -1,0 +1,80 @@
+"""Worker-pool plumbing shared by every parallel entry point.
+
+Two things live here:
+
+* **jobs resolution** — every ``jobs=`` knob in the toolchain accepts
+  ``None`` (defer to the ``REPRO_JOBS`` environment variable, default 1),
+  ``0`` (one worker per available core) or a positive worker count.
+  Parallelism is strictly opt-in: with no knob and no environment
+  variable, everything runs on today's serial code paths.
+* **``parallel_map``** — an order-preserving map over a process pool,
+  used where the work items are independent (the exploration loop's
+  finalist measurements).  Dependency-carrying work goes through
+  :mod:`repro.exec.scheduler` instead.
+
+Worker processes receive their payloads by pickling, so mapped functions
+must be module-level and their arguments picklable; compiled-engine
+caches are stripped at the pickle boundary (see
+``GraphModule.__getstate__``) and rebuilt lazily in each worker.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, TypeVar
+
+from repro.errors import ReproError
+
+#: Environment variable consulted when a ``jobs=`` knob is ``None``.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``jobs=`` knob to a concrete worker count (>= 1).
+
+    ``None`` defers to ``$REPRO_JOBS`` (absent -> 1, the serial path);
+    ``0`` — on the knob or in the variable — means every available core.
+    """
+    if jobs is None:
+        raw = os.environ.get(JOBS_ENV_VAR)
+        if raw is None or not raw.strip():
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ReproError(
+                f"invalid {JOBS_ENV_VAR}={raw!r} (expected an integer)")
+    if jobs < 0:
+        raise ReproError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return available_cpus()
+    return jobs
+
+
+def parallel_map(fn: Callable[[T], R], items: Iterable[T],
+                 jobs: Optional[int] = None) -> List[R]:
+    """Map *fn* over *items*, preserving order.
+
+    With an effective worker count of 1 (or fewer than two items) this is
+    a plain serial loop — byte-identical behavior, no pool, no pickling.
+    Otherwise items are dispatched to a process pool; the first worker
+    exception propagates to the caller unchanged.
+    """
+    items = list(items)
+    workers = min(resolve_jobs(jobs), len(items))
+    if workers <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(fn, items))

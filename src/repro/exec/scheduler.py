@@ -1,0 +1,149 @@
+"""Dependency-aware task scheduling over a process pool.
+
+The study matrix is not embarrassingly parallel: levels 1 and 2 of a
+benchmark are verified against level 0's outputs (the semantic oracle),
+so each benchmark's level-0 task must complete before its other levels
+fan out, while different benchmarks are fully independent.  This module
+provides the small generic scheduler that encodes exactly that shape:
+
+* a :class:`Task` names a module-level function, its arguments, the keys
+  of the tasks it depends on, and an optional ``bind`` hook that runs *in
+  the parent* once the dependencies finish, turning their results into
+  additional arguments (how a level-1 task receives the level-0 oracle);
+* :func:`run_tasks` executes a task set either serially (``jobs=1`` —
+  deterministic first-ready order, no pool, no pickling) or on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, submitting each task
+  the moment its dependencies are satisfied.
+
+Results are returned keyed by task, so callers reassemble outputs in
+their own canonical order — completion order never leaks into results,
+which is what keeps ``jobs=N`` bit-identical to ``jobs=1``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.exec.pool import resolve_jobs
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit of work.
+
+    ``fn(*args)`` runs in a worker process when ``jobs > 1``, so ``fn``
+    must be a module-level callable and ``args`` picklable.  ``bind``
+    (optional) runs in the parent right before submission and may extend
+    the arguments with dependency results: ``bind(args, results)`` where
+    ``results`` maps every dependency key to its finished result.
+    """
+
+    key: Hashable
+    fn: Callable
+    args: Tuple = ()
+    deps: Tuple[Hashable, ...] = ()
+    bind: Optional[Callable[[Tuple, Dict[Hashable, object]], Tuple]] = None
+
+    def final_args(self, results: Dict[Hashable, object]) -> Tuple:
+        if self.bind is None:
+            return self.args
+        return self.bind(
+            self.args, {dep: results[dep] for dep in self.deps})
+
+
+@dataclass
+class ScheduleStats:
+    """Execution accounting for one :func:`run_tasks` call."""
+
+    executed: int = 0
+    max_in_flight: int = 0
+    order: list = field(default_factory=list)  # submission order of keys
+
+
+def _validate(tasks: Sequence[Task]) -> None:
+    keys = [task.key for task in tasks]
+    if len(set(keys)) != len(keys):
+        raise ReproError("duplicate task keys in schedule")
+    known = set(keys)
+    for task in tasks:
+        for dep in task.deps:
+            if dep not in known:
+                raise ReproError(
+                    f"task {task.key!r} depends on unknown task {dep!r}")
+
+
+def run_tasks(tasks: Sequence[Task], jobs: Optional[int] = None,
+              on_start: Optional[Callable[[Hashable], None]] = None,
+              stats: Optional[ScheduleStats] = None
+              ) -> Dict[Hashable, object]:
+    """Execute *tasks* respecting dependencies; return results by key.
+
+    ``on_start(key)`` fires in the parent when a task is picked for
+    execution (serial) or submitted to the pool (parallel).  A task
+    exception propagates to the caller; outstanding parallel work is
+    cancelled or drained first.  A dependency cycle raises
+    :class:`~repro.errors.ReproError`.
+    """
+    _validate(tasks)
+    jobs = resolve_jobs(jobs)
+    if stats is None:
+        stats = ScheduleStats()
+    results: Dict[Hashable, object] = {}
+
+    if jobs <= 1 or len(tasks) <= 1:
+        pending = list(tasks)
+        while pending:
+            ready_at = next(
+                (i for i, task in enumerate(pending)
+                 if all(dep in results for dep in task.deps)), None)
+            if ready_at is None:
+                raise ReproError("dependency cycle in schedule")
+            task = pending.pop(ready_at)
+            if on_start is not None:
+                on_start(task.key)
+            stats.order.append(task.key)
+            stats.executed += 1
+            stats.max_in_flight = max(stats.max_in_flight, 1)
+            results[task.key] = task.fn(*task.final_args(results))
+        return results
+
+    by_key = {task.key: task for task in tasks}
+    waiting = list(tasks)
+    in_flight: Dict = {}  # future -> key
+    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+        try:
+            while waiting or in_flight:
+                submitted = True
+                while submitted and len(in_flight) < jobs:
+                    submitted = False
+                    for i, task in enumerate(waiting):
+                        if all(dep in results for dep in task.deps):
+                            waiting.pop(i)
+                            if on_start is not None:
+                                on_start(task.key)
+                            stats.order.append(task.key)
+                            stats.executed += 1
+                            future = pool.submit(
+                                task.fn, *task.final_args(results))
+                            in_flight[future] = task.key
+                            submitted = True
+                            break
+                stats.max_in_flight = max(stats.max_in_flight,
+                                          len(in_flight))
+                if not in_flight:
+                    raise ReproError("dependency cycle in schedule")
+                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key = in_flight.pop(future)
+                    results[key] = future.result()  # re-raises task errors
+        except BaseException:
+            for future in in_flight:
+                future.cancel()
+            raise
+    # Not every key resolvable means leftover waiting tasks formed a cycle;
+    # the in-flight check above already caught that, so here all are done.
+    assert len(results) == len(by_key)
+    return results

@@ -1,0 +1,106 @@
+"""The parallel study executor: the benchmark×level matrix on a pool.
+
+``run_study(jobs=N)`` lands here for ``N > 1``.  The matrix is expressed
+as one :class:`~repro.exec.scheduler.Task` per (benchmark, level) cell:
+
+* every benchmark's **level-0** cell is independent and eligible
+  immediately;
+* with verification on, levels 1/2 of a benchmark depend on its level-0
+  cell — the scheduler hands them level 0's per-seed machine results as
+  the semantic-oracle reference the moment that cell completes, so other
+  benchmarks' cells keep the pool busy in the meantime.
+
+Workers re-derive everything from the benchmark *name* (the registry is
+process-global), run the exact same :func:`~repro.suite.runner.
+run_benchmark` the serial path runs, and ship the finished
+:class:`~repro.suite.runner.BenchmarkRun` back.  The parent reassembles
+results in registry order, never completion order, which — together with
+the per-cell determinism of compiler and simulator — is what makes
+``jobs=N`` bit-identical to ``jobs=1`` (the differential harness in
+``tests/test_exec_equivalence.py`` pins this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.opt.pipeline import OptLevel
+from repro.exec.scheduler import Task, run_tasks
+from repro.suite.registry import get_benchmark
+from repro.suite.runner import BenchmarkRun, run_benchmark
+
+
+def _run_cell(name: str, level: int, lengths: Tuple[int, ...], seed: int,
+              seeds: Optional[Tuple[int, ...]], unroll_factor: int,
+              engine: str,
+              reference: Optional[Sequence] = None) -> BenchmarkRun:
+    """One (benchmark, level) cell; module-level so workers can import it."""
+    return run_benchmark(
+        get_benchmark(name), OptLevel(level),
+        lengths=lengths, seed=seed, seeds=seeds,
+        unroll_factor=unroll_factor, check_against=reference,
+        engine=engine)
+
+
+def _oracle_of(run: BenchmarkRun):
+    """The reference the serial path would pass to levels 1/2."""
+    if len(run.seeds) > 1:
+        return run.seed_results
+    return run.machine_result
+
+
+def build_schedule(config, names: Sequence[str]) -> List[Task]:
+    """The task DAG for one study (importable for tests and benchmarks).
+
+    Duplicate names/levels are collapsed: the serial loop re-runs such
+    cells and keeps only the last (dict overwrite), and every cell is
+    deterministic, so running each distinct cell once yields the
+    identical result without duplicate task keys.
+    """
+    names = list(dict.fromkeys(names))
+    levels = sorted(set(config.levels))
+    base_args = (config.lengths, config.seed, config.seeds,
+                 config.unroll_factor, config.engine)
+    oracle_level = levels[0] if config.verify and levels \
+        and levels[0] == 0 else None
+    tasks: List[Task] = []
+    for name in names:
+        for level in levels:
+            deps: Tuple[Hashable, ...] = ()
+            bind = None
+            if oracle_level is not None and level != oracle_level:
+                deps = ((name, oracle_level),)
+
+                def bind(args, results, _dep=deps[0]):
+                    return args + (_oracle_of(results[_dep]),)
+            tasks.append(Task(key=(name, level), fn=_run_cell,
+                              args=(name, level) + base_args,
+                              deps=deps, bind=bind))
+    return tasks
+
+
+def execute_study(config, jobs: int, progress=None):
+    """Run the matrix on *jobs* workers; see :func:`repro.feedback.study.
+    run_study` for the public entry point."""
+    from repro.feedback.study import BenchmarkStudy, StudyResult
+    from repro.suite.registry import all_benchmarks
+
+    names = (list(dict.fromkeys(config.benchmarks))
+             if config.benchmarks is not None
+             else [spec.name for spec in all_benchmarks()])
+    for name in names:  # fail on unknown names before any worker spawns
+        get_benchmark(name)
+    on_start = None
+    if progress is not None:
+        def on_start(key):
+            progress(key[0], key[1])
+    cells: Dict = run_tasks(build_schedule(config, names), jobs=jobs,
+                            on_start=on_start)
+
+    result = StudyResult(config=config)
+    for name in names:
+        study = BenchmarkStudy(spec=get_benchmark(name))
+        for level in sorted(set(config.levels)):
+            study.runs[OptLevel(level)] = cells[(name, level)]
+        result.benchmarks[name] = study
+    return result

@@ -32,6 +32,13 @@ class StudyConfig:
     unroll_factor: int = 2
     verify: bool = True
     engine: str = DEFAULT_ENGINE  # simulation engine (compiled/reference)
+    #: Input seeds batched through each compiled cell; ``None`` keeps the
+    #: single-seed behavior (``seed``).  The first entry is primary.
+    seeds: Optional[Tuple[int, ...]] = None
+    #: Worker processes for the benchmark×level matrix.  ``None`` defers
+    #: to ``$REPRO_JOBS`` (default 1 = today's serial path, guaranteed
+    #: bit-identical); ``0`` means one worker per core.
+    jobs: Optional[int] = None
 
 
 @dataclass
@@ -91,7 +98,20 @@ ProgressFn = Callable[[str, int], None]
 
 def run_study(config: StudyConfig = StudyConfig(),
               progress: Optional[ProgressFn] = None) -> StudyResult:
-    """Execute the study described by *config*."""
+    """Execute the study described by *config*.
+
+    With an effective ``jobs`` of 1 (the default) this is the serial
+    reference path.  ``jobs > 1`` dispatches the benchmark×level matrix
+    to :func:`repro.exec.study.execute_study`, which schedules cells on a
+    process pool (level 0 first per benchmark — it is the semantic
+    oracle — then levels 1/2 fan out) and produces bit-identical results.
+    """
+    from repro.exec.pool import resolve_jobs
+    jobs = resolve_jobs(config.jobs)
+    if jobs > 1:
+        from repro.exec.study import execute_study
+        return execute_study(config, jobs=jobs, progress=progress)
+
     names = (list(config.benchmarks) if config.benchmarks is not None
              else [spec.name for spec in all_benchmarks()])
     result = StudyResult(config=config)
@@ -107,13 +127,15 @@ def run_study(config: StudyConfig = StudyConfig(),
                 spec, OptLevel(level),
                 lengths=config.lengths,
                 seed=config.seed,
+                seeds=config.seeds,
                 unroll_factor=config.unroll_factor,
                 check_against=reference if config.verify else None,
                 module=module,
                 engine=config.engine,
             )
             if level == 0 and config.verify:
-                reference = run.machine_result
+                reference = (run.seed_results if len(run.seeds) > 1
+                             else run.machine_result)
             study.runs[OptLevel(level)] = run
         result.benchmarks[name] = study
     return result

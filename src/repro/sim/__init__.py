@@ -9,7 +9,7 @@ optimized graph must produce bit-identical outputs).
 """
 
 from repro.sim.machine import (DEFAULT_ENGINE, ENGINES, GraphInterpreter,
-                               MachineResult, run_module)
+                               MachineResult, run_module, run_module_batch)
 from repro.sim.engine import CompiledEngine, CompiledModule, compile_module
 from repro.sim.profile import ProfileData
 from repro.sim.memory import ArrayStorage
@@ -21,6 +21,7 @@ __all__ = [
     "compile_module",
     "MachineResult",
     "run_module",
+    "run_module_batch",
     "DEFAULT_ENGINE",
     "ENGINES",
     "ProfileData",

@@ -24,7 +24,7 @@ from repro.ir.ops import Op
 from repro.ir.values import ArraySymbol, Constant, VirtualReg
 from repro.opt.pipeline import OptLevel, optimize_module
 from repro.sim.engine import CompiledEngine, compile_module
-from repro.sim.machine import run_module
+from repro.sim.machine import run_module, run_module_batch
 from repro.sim.profile import ProfileData
 from repro.suite.registry import all_benchmarks, get_benchmark
 from repro.suite.runner import compile_benchmark
@@ -307,6 +307,82 @@ class TestMergeArrays:
         profile.count_node("f", 0)
         profile.merge_arrays("f", [0], [4], [], [])
         assert profile.node_counts["f"][0] == 5
+
+
+class TestBatchedSimulation:
+    """Multi-seed property: ``run_module_batch`` over N input sets is
+    bit-identical to N independent ``run_module`` calls — on both engines,
+    across seeds 0-4 and optimization levels 0/1/2."""
+
+    SEEDS = (0, 1, 2, 3, 4)
+    BENCHES = ("fir", "smooth", "sewha")
+
+    def _optimized(self, name, level):
+        spec = get_benchmark(name)
+        gm, _ = optimize_module(compile_benchmark(spec), OptLevel(level))
+        return spec, gm
+
+    @pytest.mark.parametrize("name", BENCHES)
+    @pytest.mark.parametrize("level", (0, 1, 2))
+    @pytest.mark.parametrize("engine", ["compiled", "reference"])
+    def test_batch_matches_independent_runs(self, name, level, engine):
+        spec, gm = self._optimized(name, level)
+        inputs = [spec.generate_inputs(seed) for seed in self.SEEDS]
+        batched = run_module_batch(gm, inputs, engine=engine)
+        singles = [run_module(gm, i, engine=engine) for i in inputs]
+        assert len(batched) == len(self.SEEDS)
+        for one, many in zip(singles, batched):
+            assert_identical(one, many)
+
+    @pytest.mark.parametrize("name", BENCHES)
+    def test_batch_engines_agree(self, name):
+        spec, gm = self._optimized(name, 1)
+        inputs = [spec.generate_inputs(seed) for seed in self.SEEDS]
+        for ref, comp in zip(run_module_batch(gm, inputs,
+                                              engine="reference"),
+                             run_module_batch(gm, inputs,
+                                              engine="compiled")):
+            assert_identical(ref, comp)
+
+    def test_seeds_actually_vary_the_run(self):
+        spec, gm = self._optimized("fir", 0)
+        results = run_module_batch(
+            gm, [spec.generate_inputs(s) for s in self.SEEDS])
+        snapshots = [r.globals_after for r in results]
+        assert len({repr(s) for s in snapshots}) == len(self.SEEDS), \
+            "every seed must produce distinct outputs or the sweep is moot"
+
+    def test_batch_compiles_once(self, monkeypatch):
+        import repro.sim.engine as engine_mod
+        spec, gm = self._optimized("fir", 1)
+        calls = []
+        real = engine_mod.compile_module
+
+        def counting(module):
+            calls.append(module)
+            return real(module)
+
+        monkeypatch.setattr(engine_mod, "compile_module", counting)
+        run_module_batch(gm, [spec.generate_inputs(s) for s in self.SEEDS])
+        assert len(calls) == 1, "a batch must pay compilation exactly once"
+
+    def test_empty_batch(self):
+        _spec, gm = self._optimized("fir", 0)
+        assert run_module_batch(gm, []) == []
+
+    def test_unknown_engine_rejected(self):
+        _spec, gm = self._optimized("fir", 0)
+        with pytest.raises(SimulationError):
+            run_module_batch(gm, [None], engine="turbo")
+
+    def test_batch_profiles_are_independent(self):
+        """Each batched run folds its own flat counters; nothing leaks."""
+        _spec, gm = self._optimized("fir", 0)
+        spec = get_benchmark("fir")
+        inputs = spec.generate_inputs(0)
+        twice = run_module_batch(gm, [inputs, inputs])
+        assert twice[0].profile == twice[1].profile
+        assert twice[0].cycles == run_module(gm, inputs).cycles
 
 
 class TestCompiledEngineReuse:

@@ -1,0 +1,365 @@
+"""Differential harness for the study executor: parallel == serial == ref.
+
+Every reported number flows through ``run_study``, so the parallel
+executor must be *indistinguishable* from the serial path, which in turn
+must be indistinguishable from the PR-1 baseline loop (compile once per
+benchmark, level 0 as semantic oracle, levels ascending).  The harness
+pins, for every suite benchmark at every level:
+
+* cycle counts, return values and the full post-run memory state;
+* complete node/edge/call profiles;
+* detection results, compared through their *portable projection* —
+  sequence names, occurrence node paths and traversal counts, total op
+  counts, and ranked frequencies.  Raw instruction uids are allocated
+  from a process-global counter, so they differ between any two runs
+  (even two serial runs in one process) and are deliberately excluded;
+* the rendered paper artifacts (Tables 2/3), end to end.
+
+Scheduler semantics (dependency order, cycle detection, error
+propagation) and the ``jobs`` knob resolution are unit-tested below.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.cfg.build import build_module_graphs
+from repro.errors import ReproError
+from repro.exec.pool import (JOBS_ENV_VAR, available_cpus, parallel_map,
+                             resolve_jobs)
+from repro.exec.scheduler import ScheduleStats, Task, run_tasks
+from repro.feedback.study import (BenchmarkStudy, StudyConfig, StudyResult,
+                                  run_study)
+from repro.frontend import compile_source
+from repro.opt.pipeline import OptLevel
+from repro.reporting.tables import table2, table3
+from repro.sim.engine import compile_module
+from repro.suite.registry import all_benchmarks, get_benchmark
+from repro.suite.runner import compile_benchmark, run_benchmark
+
+SUITE = [spec.name for spec in all_benchmarks()]
+LEVELS = (0, 1, 2)
+
+
+# -- the three executions under comparison ----------------------------------------
+
+
+def pr1_serial_baseline(config: StudyConfig) -> StudyResult:
+    """The PR-1 ``run_study`` loop, inlined verbatim as the fixed point."""
+    result = StudyResult(config=config)
+    for spec in all_benchmarks():
+        module = compile_benchmark(spec)
+        study = BenchmarkStudy(spec=spec)
+        reference = None
+        for level in sorted(config.levels):
+            run = run_benchmark(
+                spec, OptLevel(level),
+                lengths=config.lengths,
+                seed=config.seed,
+                unroll_factor=config.unroll_factor,
+                check_against=reference if config.verify else None,
+                module=module,
+                engine=config.engine,
+            )
+            if level == 0 and config.verify:
+                reference = run.machine_result
+            study.runs[OptLevel(level)] = run
+        result.benchmarks[spec.name] = study
+    return result
+
+
+@pytest.fixture(scope="module")
+def baseline_study():
+    return pr1_serial_baseline(StudyConfig())
+
+
+@pytest.fixture(scope="module")
+def serial_study():
+    return run_study(StudyConfig(jobs=1))
+
+
+@pytest.fixture(scope="module")
+def parallel_study():
+    return run_study(StudyConfig(jobs=2))
+
+
+# -- comparison helpers ------------------------------------------------------------
+
+
+def detection_projection(detection):
+    """Everything a detection result *means*, minus process-local uids."""
+    return {
+        "total_ops": detection.total_ops,
+        "lengths": detection.lengths,
+        "sequences": {
+            length: {
+                name: sorted((occ.function, occ.nodes, occ.count)
+                             for occ in seq.occurrences)
+                for name, seq in by_name.items()
+            }
+            for length, by_name in detection.sequences.items()
+        },
+        "top": {length: detection.top(length)
+                for length in detection.lengths},
+    }
+
+
+def assert_runs_identical(ra, rb):
+    assert ra.cycles == rb.cycles
+    assert ra.machine_result.return_value == rb.machine_result.return_value
+    assert ra.machine_result.globals_after == rb.machine_result.globals_after
+    assert ra.profile.node_counts == rb.profile.node_counts
+    assert ra.profile.edge_counts == rb.profile.edge_counts
+    assert ra.profile.call_counts == rb.profile.call_counts
+    assert detection_projection(ra.detection) == \
+        detection_projection(rb.detection)
+    assert ra.seeds == rb.seeds
+    assert [r.globals_after for r in ra.seed_results] == \
+        [r.globals_after for r in rb.seed_results]
+    assert [r.profile for r in ra.seed_results] == \
+        [r.profile for r in rb.seed_results]
+
+
+class TestStudyDifferential:
+    """run_study(jobs=2) == run_study(jobs=1) == PR-1 baseline."""
+
+    @pytest.mark.parametrize("name", SUITE)
+    def test_parallel_equals_serial(self, name, serial_study,
+                                    parallel_study):
+        for level in LEVELS:
+            assert_runs_identical(
+                serial_study.benchmark(name).run_at(level),
+                parallel_study.benchmark(name).run_at(level))
+
+    @pytest.mark.parametrize("name", SUITE)
+    def test_serial_equals_pr1_baseline(self, name, serial_study,
+                                        baseline_study):
+        for level in LEVELS:
+            assert_runs_identical(
+                baseline_study.benchmark(name).run_at(level),
+                serial_study.benchmark(name).run_at(level))
+
+    def test_benchmark_order_preserved(self, serial_study, parallel_study):
+        assert parallel_study.names() == serial_study.names() == SUITE
+
+    def test_rendered_tables_identical(self, serial_study, parallel_study,
+                                       baseline_study):
+        assert table2(parallel_study) == table2(serial_study) \
+            == table2(baseline_study)
+        assert table3(parallel_study) == table3(serial_study) \
+            == table3(baseline_study)
+
+    def test_suite_wide_combined_frequencies(self, serial_study,
+                                             parallel_study):
+        for level in LEVELS:
+            a = serial_study.combined(level)
+            b = parallel_study.combined(level)
+            for length in (2, 3, 4, 5):
+                assert a.top(length) == b.top(length)
+
+
+class TestMultiSeedStudyDifferential:
+    """The multi-seed matrix is equally jobs-invariant."""
+
+    CONFIG = dict(benchmarks=("fir", "iir", "sewha"), seeds=(0, 1, 2))
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_study(StudyConfig(jobs=1, **self.CONFIG))
+
+    @pytest.fixture(scope="class")
+    def parallel(self):
+        return run_study(StudyConfig(jobs=3, **self.CONFIG))
+
+    def test_bit_identical(self, serial, parallel):
+        for name in self.CONFIG["benchmarks"]:
+            for level in LEVELS:
+                ra = serial.benchmark(name).run_at(level)
+                rb = parallel.benchmark(name).run_at(level)
+                assert ra.seeds == (0, 1, 2) == rb.seeds
+                assert_runs_identical(ra, rb)
+                assert ra.cycles_by_seed() == rb.cycles_by_seed()
+
+    def test_oracle_checks_every_seed(self, serial):
+        # every level-1/2 cell was verified against all three level-0
+        # seed results (a mismatch would have raised during the fixture);
+        # spot-check the references really do differ per seed.
+        run0 = serial.benchmark("fir").run_at(0)
+        snapshots = [r.globals_after for r in run0.seed_results]
+        assert len(snapshots) == 3
+        assert snapshots[0] != snapshots[1]
+
+
+class TestProgressReporting:
+    def test_parallel_progress_covers_matrix(self):
+        seen = []
+        run_study(StudyConfig(benchmarks=("fir", "iir"), jobs=2),
+                  progress=lambda name, level: seen.append((name, level)))
+        assert sorted(seen) == sorted(
+            (name, level) for name in ("fir", "iir") for level in LEVELS)
+
+    def test_parallel_oracle_ordering(self):
+        seen = []
+        run_study(StudyConfig(benchmarks=("fir",), jobs=2),
+                  progress=lambda name, level: seen.append(level))
+        # level 0 is the semantic oracle: it must start first.
+        assert seen[0] == 0
+
+
+# -- scheduler unit tests ----------------------------------------------------------
+
+
+def _double(x):
+    return 2 * x
+
+
+def _add(*xs):
+    return sum(xs)
+
+
+def _boom():
+    raise ValueError("worker exploded")
+
+
+class TestScheduler:
+    def _diamond(self):
+        # a -> (b, c) -> d ; bind threads dependency results as args.
+        return [
+            Task("a", _double, (1,)),
+            Task("b", _add, (10,), deps=("a",),
+                 bind=lambda args, res: args + (res["a"],)),
+            Task("c", _add, (100,), deps=("a",),
+                 bind=lambda args, res: args + (res["a"],)),
+            Task("d", _add, (), deps=("b", "c"),
+                 bind=lambda args, res: (res["b"], res["c"])),
+        ]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_diamond_dependency_results(self, jobs):
+        results = run_tasks(self._diamond(), jobs=jobs)
+        assert results == {"a": 2, "b": 12, "c": 102, "d": 114}
+
+    def test_serial_respects_declaration_order(self):
+        stats = ScheduleStats()
+        run_tasks(self._diamond(), jobs=1, stats=stats)
+        assert stats.order == ["a", "b", "c", "d"]
+        assert stats.executed == 4
+
+    def test_dependency_fires_before_dependent(self):
+        stats = ScheduleStats()
+        run_tasks(self._diamond(), jobs=2, stats=stats)
+        assert stats.order.index("a") < stats.order.index("b")
+        assert stats.order.index("a") < stats.order.index("c")
+        assert stats.order.index("d") == 3
+
+    def test_on_start_fires_per_task(self):
+        started = []
+        run_tasks(self._diamond(), jobs=2, on_start=started.append)
+        assert sorted(started) == ["a", "b", "c", "d"]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_cycle_detected(self, jobs):
+        tasks = [Task("a", _double, (1,), deps=("b",)),
+                 Task("b", _double, (1,), deps=("a",))]
+        with pytest.raises(ReproError, match="cycle"):
+            run_tasks(tasks, jobs=jobs)
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ReproError, match="duplicate"):
+            run_tasks([Task("a", _double, (1,)), Task("a", _double, (2,))])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ReproError, match="unknown task"):
+            run_tasks([Task("a", _double, (1,), deps=("ghost",))])
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_worker_error_propagates(self, jobs):
+        tasks = [Task("ok", _double, (1,)), Task("bad", _boom)]
+        with pytest.raises(ValueError, match="worker exploded"):
+            run_tasks(tasks, jobs=jobs)
+
+    def test_empty_schedule(self):
+        assert run_tasks([], jobs=2) == {}
+
+
+class TestPool:
+    def test_parallel_map_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(_double, items, jobs=4) == \
+            [2 * x for x in items]
+
+    def test_parallel_map_serial_fallback(self):
+        assert parallel_map(_double, [3], jobs=8) == [6]
+
+    def test_resolve_explicit(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(7) == 7
+        assert resolve_jobs(0) == available_cpus()
+
+    def test_resolve_negative_rejected(self):
+        with pytest.raises(ReproError, match="jobs"):
+            resolve_jobs(-2)
+
+    def test_resolve_env_default(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
+        assert resolve_jobs(None) == 1
+        monkeypatch.setenv(JOBS_ENV_VAR, "3")
+        assert resolve_jobs(None) == 3
+        monkeypatch.setenv(JOBS_ENV_VAR, "0")
+        assert resolve_jobs(None) == available_cpus()
+
+    def test_resolve_env_invalid(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "lots")
+        with pytest.raises(ReproError, match=JOBS_ENV_VAR):
+            resolve_jobs(None)
+
+    def test_env_does_not_override_explicit_jobs(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV_VAR, "5")
+        assert resolve_jobs(1) == 1
+
+
+class TestPickleBoundary:
+    """Graph modules cross the pool boundary; compiled closures must not."""
+
+    def test_compiled_cache_stripped_on_pickle(self):
+        gm = build_module_graphs(compile_source(
+            "int main() { return 41 + 1; }", "t"))
+        compile_module(gm)
+        assert "_compiled_cache" in gm.__dict__
+        clone = pickle.loads(pickle.dumps(gm))
+        assert "_compiled_cache" not in clone.__dict__
+        # ...and the original keeps its cache.
+        assert "_compiled_cache" in gm.__dict__
+
+    def test_benchmark_run_round_trips(self):
+        spec = get_benchmark("fir")
+        run = run_benchmark(spec, OptLevel.PIPELINED)
+        clone = pickle.loads(pickle.dumps(run))
+        assert clone.cycles == run.cycles
+        assert clone.machine_result.globals_after == \
+            run.machine_result.globals_after
+        assert clone.profile == run.profile
+
+
+class TestStudyConfigErrors:
+    def test_unknown_benchmark_rejected_before_spawn(self):
+        with pytest.raises(ReproError, match="unknown benchmark"):
+            run_study(StudyConfig(benchmarks=("nope",), jobs=2))
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ReproError, match="jobs"):
+            run_study(StudyConfig(benchmarks=("fir",), jobs=-1))
+
+    def test_duplicate_benchmarks_and_levels_match_serial(self):
+        # The serial loop re-runs duplicate cells and keeps the last by
+        # dict overwrite; the scheduler collapses them — same result.
+        config = dict(benchmarks=("fir", "fir", "iir"), levels=(1, 1, 0))
+        serial = run_study(StudyConfig(jobs=1, **config))
+        parallel = run_study(StudyConfig(jobs=2, **config))
+        assert parallel.names() == serial.names() == ["fir", "iir"]
+        for name in serial.names():
+            for level in (0, 1):
+                assert_runs_identical(
+                    serial.benchmark(name).run_at(level),
+                    parallel.benchmark(name).run_at(level))

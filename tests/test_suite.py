@@ -5,11 +5,13 @@ import math
 
 import pytest
 
+from repro.errors import OptimizationError
 from repro.opt.pipeline import OptLevel
 from repro.suite.data import random_image, rng_for
 from repro.suite.registry import (all_benchmarks, benchmark_names,
                                   get_benchmark)
-from repro.suite.runner import compile_benchmark, run_benchmark
+from repro.suite.runner import (compile_benchmark, run_benchmark,
+                                verify_semantics)
 from repro.errors import ReproError
 
 
@@ -74,6 +76,81 @@ class TestEveryBenchmark:
                            lengths=(2,), check_against=r0.machine_result)
         assert r1.cycles < r0.cycles  # compaction always helps here
         assert r0.detection.total_ops > 0
+
+
+class TestSemanticOracle:
+    """The tightened preservation check: declared output arrays are
+    compared explicitly (and first), so an array-only divergence is caught
+    and reported against the array name."""
+
+    def _reference(self, name="fir"):
+        from repro.sim.machine import MachineResult
+        spec = get_benchmark(name)
+        run = run_benchmark(spec, OptLevel.NONE, lengths=(2,))
+        base = run.machine_result
+        tampered = MachineResult(
+            base.return_value,
+            {k: list(v) for k, v in base.globals_after.items()},
+            base.profile)
+        return spec, run, tampered
+
+    def test_output_array_divergence_caught_and_named(self):
+        spec, _run, tampered = self._reference()
+        out = spec.outputs[0]
+        tampered.globals_after[out][3] += 1  # array-only: same return value
+        with pytest.raises(OptimizationError,
+                           match=f"output array '{out}'"):
+            run_benchmark(spec, OptLevel.PIPELINED, lengths=(2,),
+                          check_against=tampered)
+
+    def test_non_output_divergence_still_caught(self):
+        spec, _run, tampered = self._reference()
+        scratch = next(n for n in tampered.globals_after
+                       if n not in spec.outputs)
+        tampered.globals_after[scratch][0] += 1
+        with pytest.raises(OptimizationError, match="outputs diverge"):
+            run_benchmark(spec, OptLevel.PIPELINED, lengths=(2,),
+                          check_against=tampered)
+
+    def test_clean_reference_passes(self):
+        spec, run, _tampered = self._reference()
+        run_benchmark(spec, OptLevel.PIPELINED, lengths=(2,),
+                      check_against=run.machine_result)
+
+    def test_verify_semantics_direct(self):
+        spec, run, tampered = self._reference()
+        verify_semantics(spec, OptLevel.NONE, run.machine_result,
+                         run.machine_result)  # identical: no raise
+        out = spec.outputs[0]
+        tampered.globals_after[out][0] -= 7
+        with pytest.raises(OptimizationError, match=f"'{out}'"):
+            verify_semantics(spec, OptLevel.NONE, run.machine_result,
+                             tampered)
+
+    def test_multi_seed_reference_length_mismatch(self):
+        spec, run, _tampered = self._reference()
+        with pytest.raises(OptimizationError, match="seeds"):
+            run_benchmark(spec, OptLevel.PIPELINED, lengths=(2,),
+                          seeds=(0, 1),
+                          check_against=[run.machine_result])
+
+    def test_multi_seed_divergence_in_later_seed_caught(self):
+        spec = get_benchmark("fir")
+        base = run_benchmark(spec, OptLevel.NONE, lengths=(2,),
+                             seeds=(0, 1))
+        refs = list(base.seed_results)
+        from repro.sim.machine import MachineResult
+        out = spec.outputs[0]
+        tampered = MachineResult(
+            refs[1].return_value,
+            {k: list(v) for k, v in refs[1].globals_after.items()},
+            refs[1].profile)
+        tampered.globals_after[out][0] += 1
+        refs[1] = tampered
+        with pytest.raises(OptimizationError,
+                           match=f"output array '{out}'"):
+            run_benchmark(spec, OptLevel.PIPELINED, lengths=(2,),
+                          seeds=(0, 1), check_against=refs)
 
 
 class TestBenchmarkOutputs:
