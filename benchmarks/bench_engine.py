@@ -69,9 +69,51 @@ def test_simulator_throughput_compiled(benchmark, edge_module, edge_spec):
     ``test_simulator_throughput`` is the engine speedup (target >= 3x)."""
     gm = build_module_graphs(edge_module)
     inputs = edge_spec.generate_inputs(0)
-    run_module(gm, inputs)  # compile once outside the timed region
-    result = benchmark(run_module, gm, inputs)
+    # compile once outside the timed region (engine pinned so the
+    # numbers are stable under any REPRO_ENGINE)
+    run_module(gm, inputs, engine="compiled")
+    result = benchmark(run_module, gm, inputs, engine="compiled")
     assert result.cycles > 10_000
+
+
+def test_simulator_throughput_bytecode(benchmark, edge_module, edge_spec):
+    """Bytecode engine on the same workload; the ratio against
+    ``test_simulator_throughput_compiled`` is the tier-3 speedup
+    (target >= 1.5x)."""
+    gm = build_module_graphs(edge_module)
+    inputs = edge_spec.generate_inputs(0)
+    run_module(gm, inputs, engine="bytecode")  # lower once outside timing
+    result = benchmark(run_module, gm, inputs, engine="bytecode")
+    assert result.cycles > 10_000
+
+
+#: The compiled-vs-bytecode acceptance pair: per-benchmark columns in the
+#: bench JSON so the >= 1.5x simulator speedup is recorded for both.
+SIM_BENCHES = ("edge", "sewha")
+
+
+def _level0(name):
+    spec = get_benchmark(name)
+    return build_module_graphs(compile_benchmark(spec)), \
+        spec.generate_inputs(0)
+
+
+@pytest.mark.parametrize("name", SIM_BENCHES)
+def test_sim_compiled(benchmark, name):
+    gm, inputs = _level0(name)
+    run_module(gm, inputs, engine="compiled")
+    result = benchmark(run_module, gm, inputs, engine="compiled")
+    assert result.cycles > 1_000
+
+
+@pytest.mark.parametrize("name", SIM_BENCHES)
+def test_sim_bytecode(benchmark, name):
+    """Paired with ``test_sim_compiled[name]``: the compiled/bytecode
+    ratio per benchmark is the recorded tier-3 speedup."""
+    gm, inputs = _level0(name)
+    run_module(gm, inputs, engine="bytecode")
+    result = benchmark(run_module, gm, inputs, engine="bytecode")
+    assert result.cycles > 1_000
 
 
 def test_simulator_compile_cost(benchmark, edge_module):
@@ -82,6 +124,16 @@ def test_simulator_compile_cost(benchmark, edge_module):
     gm = build_module_graphs(edge_module)
     compiled = benchmark(CompiledModule, gm)
     assert compiled.graphs
+
+
+def test_simulator_lowering_cost(benchmark, edge_module):
+    """Cost of one cold bytecode lowering (cached like the compiled
+    form, stripped and rebuilt per worker at pickle boundaries)."""
+    from repro.sim.engine import LoweredModule
+
+    gm = build_module_graphs(edge_module)
+    lowered = benchmark(LoweredModule, gm)
+    assert lowered.graphs
 
 
 def _explore_edge(edge_module, edge_spec, engine):
@@ -107,6 +159,15 @@ def test_exploration_end_to_end_reference(benchmark, edge_module, edge_spec):
     result = benchmark.pedantic(
         _explore_edge, args=(edge_module, edge_spec, "reference"),
         rounds=2, iterations=1)
+    assert result.best is not None
+
+
+def test_exploration_end_to_end_bytecode(benchmark, edge_module, edge_spec):
+    """Same exploration on the bytecode tier (shared base simulation +
+    lowered-form reuse across finalists)."""
+    result = benchmark.pedantic(
+        _explore_edge, args=(edge_module, edge_spec, "bytecode"),
+        rounds=3, iterations=1, warmup_rounds=1)
     assert result.best is not None
 
 

@@ -44,6 +44,31 @@ def test_study_serial(benchmark):
     _assert_full_matrix(study)
 
 
+def test_study_serial_bytecode(benchmark):
+    """The full matrix on the bytecode engine tier; the ratio against
+    ``test_study_serial`` is the study-level engine win."""
+    study = benchmark.pedantic(
+        run_study, args=(StudyConfig(jobs=1, engine="bytecode"),),
+        rounds=3, iterations=1)
+    _assert_full_matrix(study)
+
+
+def test_small_studies_repeated_parallel(benchmark):
+    """Back-to-back small parallel studies: the shape where process-pool
+    spin-up used to dominate.  The persistent pool pays it once."""
+    if available_cpus() < 2:
+        pytest.skip("single-CPU machine: a process pool cannot win")
+    config = StudyConfig(benchmarks=("fir", "iir"), jobs=2)
+
+    def three_studies():
+        run_study(config)
+        run_study(config)
+        return run_study(config)
+
+    study = benchmark.pedantic(three_studies, rounds=3, iterations=1)
+    assert set(study.names()) == {"fir", "iir"}
+
+
 def test_study_parallel_jobs4(benchmark):
     """The full matrix on 4 workers (target: >= 2x over serial when the
     hardware has the cores; ratio against ``test_study_serial``)."""

@@ -1,16 +1,26 @@
 """Worker-pool plumbing shared by every parallel entry point.
 
-Two things live here:
+Three things live here:
 
 * **jobs resolution** — every ``jobs=`` knob in the toolchain accepts
   ``None`` (defer to the ``REPRO_JOBS`` environment variable, default 1),
   ``0`` (one worker per available core) or a positive worker count.
   Parallelism is strictly opt-in: with no knob and no environment
   variable, everything runs on today's serial code paths.
-* **``parallel_map``** — an order-preserving map over a process pool,
-  used where the work items are independent (the exploration loop's
-  finalist measurements).  Dependency-carrying work goes through
-  :mod:`repro.exec.scheduler` instead.
+* **the persistent pool** — worker processes are created lazily on the
+  first parallel operation and *reused* across subsequent ones
+  (:func:`get_pool`), so repeated ``run_study``/``explore_designs``
+  calls stop paying process-pool spin-up per call.  The pool is resized
+  only when a different worker count is requested, shut down at
+  interpreter exit, and discarded automatically if a worker dies so the
+  next operation starts from a healthy pool.
+* **``parallel_map``** — an order-preserving map over the pool, used
+  where the work items are independent (the exploration loop's finalist
+  measurements).  Maps of :data:`PARALLEL_MIN_ITEMS` items or fewer run
+  serially: for tiny fan-outs the pickling round-trips alone cost more
+  than the work, and the serial path is byte-identical.
+  Dependency-carrying work goes through :mod:`repro.exec.scheduler`
+  instead.
 
 Worker processes receive their payloads by pickling, so mapped functions
 must be module-level and their arguments picklable; compiled-engine
@@ -20,14 +30,21 @@ caches are stripped at the pickle boundary (see
 
 from __future__ import annotations
 
+import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, TypeVar
 
 from repro.errors import ReproError
 
 #: Environment variable consulted when a ``jobs=`` knob is ``None``.
 JOBS_ENV_VAR = "REPRO_JOBS"
+
+#: Maps of this many items or fewer always run serially — pool dispatch
+#: (pickling both ways plus scheduling) costs more than it saves on such
+#: small work, and results are identical either way.
+PARALLEL_MIN_ITEMS = 2
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -46,35 +63,92 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
     ``None`` defers to ``$REPRO_JOBS`` (absent -> 1, the serial path);
     ``0`` — on the knob or in the variable — means every available core.
+    Errors name the environment variable when the value came from it, so
+    a CI misconfiguration is diagnosable from the message alone.
     """
+    source = None
     if jobs is None:
         raw = os.environ.get(JOBS_ENV_VAR)
         if raw is None or not raw.strip():
             return 1
+        source = f" (from {JOBS_ENV_VAR}={raw.strip()!r})"
         try:
             jobs = int(raw)
         except ValueError:
             raise ReproError(
                 f"invalid {JOBS_ENV_VAR}={raw!r} (expected an integer)")
     if jobs < 0:
-        raise ReproError(f"jobs must be >= 0, got {jobs}")
+        raise ReproError(
+            f"jobs must be >= 0, got {jobs}{source or ''}")
     if jobs == 0:
         return available_cpus()
     return jobs
+
+
+# -- the persistent pool -----------------------------------------------------------
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+
+
+def get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared worker pool, created lazily and reused across calls.
+
+    Repeated parallel operations with the same worker count — the common
+    case: every ``run_study(jobs=N)`` / ``explore_designs(jobs=N)`` of a
+    session — reuse the warm workers instead of respawning them.  A
+    different count tears the pool down and builds a fresh one.
+    """
+    global _pool, _pool_workers
+    if _pool is None or _pool_workers != workers:
+        if _pool is not None:
+            _pool.shutdown()
+        _pool = ProcessPoolExecutor(max_workers=workers)
+        _pool_workers = workers
+    return _pool
+
+
+def shutdown_pool(wait: bool = True) -> None:
+    """Tear down the persistent pool (idempotent; re-created on demand)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=wait)
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def discard_broken_pool() -> None:
+    """Forget a pool whose workers died so the next call starts fresh.
+
+    ``shutdown()`` on a broken executor only marks it; dropping the
+    reference lets :func:`get_pool` build a healthy replacement.
+    """
+    shutdown_pool(wait=False)
 
 
 def parallel_map(fn: Callable[[T], R], items: Iterable[T],
                  jobs: Optional[int] = None) -> List[R]:
     """Map *fn* over *items*, preserving order.
 
-    With an effective worker count of 1 (or fewer than two items) this is
-    a plain serial loop — byte-identical behavior, no pool, no pickling.
-    Otherwise items are dispatched to a process pool; the first worker
-    exception propagates to the caller unchanged.
+    With an effective worker count of 1 — or :data:`PARALLEL_MIN_ITEMS`
+    items or fewer, where pool dispatch costs more than the work — this
+    is a plain serial loop: byte-identical behavior, no pool, no
+    pickling.  Otherwise items are dispatched to the persistent pool; the
+    first worker exception propagates to the caller unchanged.
     """
     items = list(items)
-    workers = min(resolve_jobs(jobs), len(items))
-    if workers <= 1:
+    workers = resolve_jobs(jobs)
+    if workers <= 1 or len(items) <= PARALLEL_MIN_ITEMS:
         return [fn(item) for item in items]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    # The pool is sized by the requested worker count, not by this map's
+    # length: a stable size is what lets consecutive operations (a small
+    # exploration fan-out, then a full study matrix) share warm workers.
+    pool = get_pool(workers)
+    try:
         return list(pool.map(fn, items))
+    except BrokenProcessPool:
+        discard_broken_pool()
+        raise

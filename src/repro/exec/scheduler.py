@@ -11,9 +11,10 @@ provides the small generic scheduler that encodes exactly that shape:
   the parent* once the dependencies finish, turning their results into
   additional arguments (how a level-1 task receives the level-0 oracle);
 * :func:`run_tasks` executes a task set either serially (``jobs=1`` —
-  deterministic first-ready order, no pool, no pickling) or on a
-  :class:`~concurrent.futures.ProcessPoolExecutor`, submitting each task
-  the moment its dependencies are satisfied.
+  deterministic first-ready order, no pool, no pickling) or on the
+  persistent worker pool (:func:`repro.exec.pool.get_pool` — spawned
+  once, reused across studies), submitting each task the moment its
+  dependencies are satisfied.
 
 Results are returned keyed by task, so callers reassemble outputs in
 their own canonical order — completion order never leaks into results,
@@ -22,12 +23,13 @@ which is what keeps ``jobs=N`` bit-identical to ``jobs=1``.
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Optional, Sequence, Tuple
 
 from repro.errors import ReproError
-from repro.exec.pool import resolve_jobs
+from repro.exec.pool import discard_broken_pool, get_pool, resolve_jobs
 
 
 @dataclass(frozen=True)
@@ -113,36 +115,50 @@ def run_tasks(tasks: Sequence[Task], jobs: Optional[int] = None,
     by_key = {task.key: task for task in tasks}
     waiting = list(tasks)
     in_flight: Dict = {}  # future -> key
-    with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-        try:
-            while waiting or in_flight:
-                submitted = True
-                while submitted and len(in_flight) < jobs:
-                    submitted = False
-                    for i, task in enumerate(waiting):
-                        if all(dep in results for dep in task.deps):
-                            waiting.pop(i)
-                            if on_start is not None:
-                                on_start(task.key)
-                            stats.order.append(task.key)
-                            stats.executed += 1
-                            future = pool.submit(
-                                task.fn, *task.final_args(results))
-                            in_flight[future] = task.key
-                            submitted = True
-                            break
-                stats.max_in_flight = max(stats.max_in_flight,
-                                          len(in_flight))
-                if not in_flight:
-                    raise ReproError("dependency cycle in schedule")
-                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
-                for future in done:
-                    key = in_flight.pop(future)
-                    results[key] = future.result()  # re-raises task errors
-        except BaseException:
-            for future in in_flight:
-                future.cancel()
-            raise
+    # The persistent pool outlives this call: repeated studies reuse the
+    # same warm workers instead of paying spin-up per run_tasks call.
+    # The in-flight cap below bounds parallelism to *jobs* regardless of
+    # the pool's size.
+    pool = get_pool(jobs)
+    try:
+        while waiting or in_flight:
+            submitted = True
+            while submitted and len(in_flight) < jobs:
+                submitted = False
+                for i, task in enumerate(waiting):
+                    if all(dep in results for dep in task.deps):
+                        waiting.pop(i)
+                        if on_start is not None:
+                            on_start(task.key)
+                        stats.order.append(task.key)
+                        stats.executed += 1
+                        future = pool.submit(
+                            task.fn, *task.final_args(results))
+                        in_flight[future] = task.key
+                        submitted = True
+                        break
+            stats.max_in_flight = max(stats.max_in_flight,
+                                      len(in_flight))
+            if not in_flight:
+                raise ReproError("dependency cycle in schedule")
+            done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                key = in_flight.pop(future)
+                results[key] = future.result()  # re-raises task errors
+    except BrokenProcessPool:
+        for future in in_flight:
+            future.cancel()
+        discard_broken_pool()
+        raise
+    except BaseException:
+        for future in in_flight:
+            future.cancel()
+        # Drain still-running siblings before re-raising: the pool
+        # outlives this call, and a caller that catches the error must
+        # find quiet workers, not orphan tasks still mutating state
+        # (the old per-call executor's `with` exit waited the same way).
+        wait(in_flight)
+        raise
     # Not every key resolvable means leftover waiting tasks formed a cycle;
     # the in-flight check above already caught that, so here all are done.
     assert len(results) == len(by_key)

@@ -1,0 +1,451 @@
+"""The bytecode execution engine (the third tier).
+
+The closure engine (:mod:`repro.sim.engine`) already removed dispatch and
+operand resolution from the hot loop, but it still pays one or more Python
+*function calls* per VLIW node per cycle (the step closure plus its
+operation closures).  This tier removes the calls too: each graph is
+lowered (by :func:`repro.sim.engine.lower_module`) into direct-threaded
+words — flat lists of integer opcode, pre-resolved register/array slot
+indices, inlined constants and direct successor-word references — and
+executed by the single dispatch loop below, where the common operations
+(integer arithmetic, loads, stores, moves, compares) are fully inlined in
+the interpreter frame.
+
+Key properties:
+
+* most level-0 nodes lower to a *fused* word (operation + fall-through
+  jump), so one machine cycle costs one dispatch and zero Python calls;
+* profile counting costs one increment per *branch* edge only — node
+  counts and fall-through edge counts are reconstructed exactly at the
+  end of the run (:meth:`_LoweredGraph.resolve_counters`) into the same
+  flat arrays the closure engine produces, so
+  :meth:`ProfileData.merge_arrays` is reused unchanged;
+* results are bit-identical to both other engines — return value, memory,
+  full node/edge/call profiles and error behavior — which the
+  differential suite in ``tests/test_bytecode.py`` pins across the
+  12-benchmark suite at every optimization level.
+
+``run_batch`` drives N input sets (the multi-seed study cells) through
+one lowered program, paying lowering and cache validation once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.cfg.graph import GraphModule
+from repro.sim.engine import (
+    ADD_RC, ADD_RC_J, ADD_RR, ADD_RR_J, BINF_CC, BINF_CR, BINF_CR_J,
+    BINF_RC, BINF_RC_J, BINF_RR, BINF_RR_J, BR, CALL, CP, CP2, ERROR,
+    INTRN, J, JB, LOAD, LOADC, LOADC_J, LOAD_J, MOV_C, MOV_C_J, MOV_R,
+    MOV_R_J, MUL_RC, MUL_RC_J, MUL_RR, MUL_RR_J, NEG, NEG_J, RETREAD,
+    RET_C, RET_N, RET_R, RET_S, STD_CC, STD_CS, STD_SC, STD_SS,
+    STORE_CI_J, STORE_J, ST_CC, ST_CR, ST_RC, ST_RR, SUB_RC, SUB_RC_J,
+    SUB_RR, SUB_RR_J, TEST, UNF, UNFC, UNF_J, LoweredModule,
+    _LoweredGraph, _RunState, _UNDEF, lower_module)
+from repro.sim.machine import _MAX_CALL_DEPTH, MachineResult
+from repro.sim.memory import ArrayStorage
+from repro.sim.profile import ProfileData
+
+
+def _exec_graph(lmod: LoweredModule, lg: _LoweredGraph, args: List,
+                state: _RunState,
+                # opcode constants bound as locals: the ladder compares
+                # them on every dispatch, and LOAD_FAST beats LOAD_GLOBAL
+                # in the only loop that matters
+                _UNDEF=_UNDEF,
+                ADD_RR_J=ADD_RR_J, LOAD_J=LOAD_J, BR=BR,
+                ADD_RC_J=ADD_RC_J, J=J, JB=JB, BINF_RC_J=BINF_RC_J,
+                MUL_RC_J=MUL_RC_J, SUB_RC_J=SUB_RC_J, MUL_RR_J=MUL_RR_J,
+                SUB_RR_J=SUB_RR_J, STORE_J=STORE_J, MOV_C_J=MOV_C_J,
+                MOV_R_J=MOV_R_J, LOADC_J=LOADC_J, BINF_RR_J=BINF_RR_J,
+                BINF_CR_J=BINF_CR_J, STORE_CI_J=STORE_CI_J, NEG_J=NEG_J,
+                UNF_J=UNF_J, CP=CP, CP2=CP2, TEST=TEST, ADD_RR=ADD_RR,
+                ADD_RC=ADD_RC, SUB_RR=SUB_RR, SUB_RC=SUB_RC,
+                MUL_RR=MUL_RR, MUL_RC=MUL_RC, LOAD=LOAD, LOADC=LOADC,
+                MOV_C=MOV_C, MOV_R=MOV_R, BINF_RR=BINF_RR,
+                BINF_RC=BINF_RC, BINF_CR=BINF_CR, BINF_CC=BINF_CC,
+                NEG=NEG, UNF=UNF, UNFC=UNFC, ST_RR=ST_RR, ST_RC=ST_RC,
+                ST_CR=ST_CR, ST_CC=ST_CC, STD_SS=STD_SS, STD_SC=STD_SC,
+                STD_CS=STD_CS, STD_CC=STD_CC, RETREAD=RETREAD,
+                INTRN=INTRN, CALL=CALL, RET_R=RET_R, RET_C=RET_C,
+                RET_N=RET_N, RET_S=RET_S, ERROR=ERROR):
+    """Execute one lowered graph frame; returns its return value."""
+    depth = state.depth
+    if depth > _MAX_CALL_DEPTH:
+        raise SimulationError(
+            f"call depth exceeded in {lg.name!r} (runaway recursion?)")
+    state.call_counts[lg.name] = state.call_counts.get(lg.name, 0) + 1
+    if len(args) != lg.n_params:
+        raise SimulationError(
+            f"{lg.name!r} expects {lg.n_params} arguments, "
+            f"got {len(args)}")
+
+    regs: List = [_UNDEF] * lg.n_regs
+    arr: List = [None] * lg.n_arrays
+    for (is_reg, slot, pname), value in zip(lg.param_plan, args):
+        if is_reg:
+            regs[slot] = value
+        else:
+            if not isinstance(value, ArrayStorage):
+                raise SimulationError(
+                    f"{lg.name!r}: array parameter {pname!r} "
+                    f"bound to non-array {value!r}")
+            arr[slot] = value
+    for slot, symbol in lg.local_plan:
+        arr[slot] = ArrayStorage(symbol)
+    module_globals = state.globals
+    for slot, gname in lg.global_plan:
+        arr[slot] = module_globals[gname]
+    for slot, placeholder in lg.missing_plan:
+        arr[slot] = placeholder
+
+    w = lg.entry_word
+    if w is None:
+        raise SimulationError(f"{lg.name!r} has no entry node")
+    graphs = lmod.graphs
+    ehits = state.edge_hits[lg.name]
+    cyc = state.cyc
+    limit = state.max_cycles
+
+    n = cyc[0] + 1
+    if n > limit:
+        cyc[0] = n
+        raise SimulationError(
+            f"cycle limit ({limit}) exceeded; "
+            f"infinite loop in {lg.name!r}?")
+    state.depth = depth + 1
+    try:
+        while True:
+            op = w[0]
+            if op < CP:
+                # tier 1: fused words and control transfers — the
+                # one-dispatch-per-cycle path
+                if op == ADD_RR_J:
+                    regs[w[1]] = regs[w[2]] + regs[w[3]]
+                    w = w[4]
+                elif op == LOAD_J:
+                    storage = arr[w[2]]
+                    i = regs[w[3]]
+                    if 0 <= i < storage.size:
+                        regs[w[1]] = storage.data[i]
+                    else:
+                        storage.load(i)  # raises the bounds error
+                    w = w[4]
+                elif op == BR:
+                    n += 1
+                    if n > limit:
+                        break
+                    if regs[w[1]] != 0:
+                        ehits[w[2]] += 1
+                        w = w[3]
+                    else:
+                        ehits[w[4]] += 1
+                        w = w[5]
+                elif op == ADD_RC_J:
+                    regs[w[1]] = regs[w[2]] + w[3]
+                    w = w[4]
+                elif op == J:
+                    w = w[1]
+                elif op == JB:
+                    n += 1
+                    if n > limit:
+                        break
+                    w = w[1]
+                elif op == BINF_RC_J:
+                    regs[w[1]] = w[2](regs[w[3]], w[4])
+                    w = w[5]
+                elif op == MUL_RC_J:
+                    regs[w[1]] = regs[w[2]] * w[3]
+                    w = w[4]
+                elif op == SUB_RC_J:
+                    regs[w[1]] = regs[w[2]] - w[3]
+                    w = w[4]
+                elif op == MUL_RR_J:
+                    regs[w[1]] = regs[w[2]] * regs[w[3]]
+                    w = w[4]
+                elif op == SUB_RR_J:
+                    regs[w[1]] = regs[w[2]] - regs[w[3]]
+                    w = w[4]
+                elif op == STORE_J:
+                    arr[w[1]].store(regs[w[3]], regs[w[2]])
+                    w = w[4]
+                elif op == MOV_C_J:
+                    regs[w[1]] = w[2]
+                    w = w[3]
+                elif op == MOV_R_J:
+                    value = regs[w[2]]
+                    if value is _UNDEF:
+                        raise SimulationError(
+                            f"read of undefined register {w[3]!r}")
+                    regs[w[1]] = value
+                    w = w[4]
+                elif op == LOADC_J:
+                    storage = arr[w[2]]
+                    i = w[3]
+                    if 0 <= i < storage.size:
+                        regs[w[1]] = storage.data[i]
+                    else:
+                        storage.load(i)
+                    w = w[4]
+                elif op == BINF_RR_J:
+                    regs[w[1]] = w[2](regs[w[3]], regs[w[4]])
+                    w = w[5]
+                elif op == BINF_CR_J:
+                    regs[w[1]] = w[2](w[3], regs[w[4]])
+                    w = w[5]
+                elif op == STORE_CI_J:
+                    arr[w[1]].store(w[3], regs[w[2]])
+                    w = w[4]
+                elif op == NEG_J:
+                    regs[w[1]] = -regs[w[2]]
+                    w = w[3]
+                else:  # UNF_J
+                    regs[w[1]] = w[2](regs[w[3]])
+                    w = w[4]
+            elif op == ADD_RR:
+                regs[w[1]] = regs[w[2]] + regs[w[3]]
+                w = w[4]
+            elif op == LOAD:
+                storage = arr[w[2]]
+                i = regs[w[3]]
+                if 0 <= i < storage.size:
+                    regs[w[1]] = storage.data[i]
+                else:
+                    storage.load(i)
+                w = w[4]
+            elif op == ADD_RC:
+                regs[w[1]] = regs[w[2]] + w[3]
+                w = w[4]
+            elif op == SUB_RC:
+                regs[w[1]] = regs[w[2]] - w[3]
+                w = w[4]
+            elif op == MUL_RC:
+                regs[w[1]] = regs[w[2]] * w[3]
+                w = w[4]
+            elif op == CP:
+                regs[w[1]] = regs[w[2]]
+                w = w[3]
+            elif op == CP2:
+                regs[w[1]] = regs[w[2]]
+                regs[w[3]] = regs[w[4]]
+                w = w[5]
+            elif op == MOV_R:
+                value = regs[w[2]]
+                if value is _UNDEF:
+                    raise SimulationError(
+                        f"read of undefined register {w[3]!r}")
+                regs[w[1]] = value
+                w = w[4]
+            elif op == MOV_C:
+                regs[w[1]] = w[2]
+                w = w[3]
+            elif op == BINF_RC:
+                regs[w[1]] = w[2](regs[w[3]], w[4])
+                w = w[5]
+            elif op == SUB_RR:
+                regs[w[1]] = regs[w[2]] - regs[w[3]]
+                w = w[4]
+            elif op == MUL_RR:
+                regs[w[1]] = regs[w[2]] * regs[w[3]]
+                w = w[4]
+            elif op == TEST:
+                regs[w[1]] = regs[w[2]] != 0
+                w = w[3]
+            elif op == BINF_RR:
+                regs[w[1]] = w[2](regs[w[3]], regs[w[4]])
+                w = w[5]
+            elif op == ST_RR:
+                arr[w[1]].store(regs[w[3]], regs[w[2]])
+                w = w[4]
+            elif op == ST_CR:
+                arr[w[1]].store(regs[w[3]], w[2])
+                w = w[4]
+            elif op == LOADC:
+                storage = arr[w[2]]
+                i = w[3]
+                if 0 <= i < storage.size:
+                    regs[w[1]] = storage.data[i]
+                else:
+                    storage.load(i)
+                w = w[4]
+            elif op == NEG:
+                regs[w[1]] = -regs[w[2]]
+                w = w[3]
+            elif op == BINF_CR:
+                regs[w[1]] = w[2](w[3], regs[w[4]])
+                w = w[5]
+            elif op == ST_RC:
+                arr[w[1]].store(w[3], regs[w[2]])
+                w = w[4]
+            elif op == ST_CC:
+                arr[w[1]].store(w[3], w[2])
+                w = w[4]
+            elif op == UNF:
+                regs[w[1]] = w[2](regs[w[3]])
+                w = w[4]
+            elif op == UNFC:
+                regs[w[1]] = w[2](w[3])
+                w = w[4]
+            elif op == BINF_CC:
+                regs[w[1]] = w[2](w[3], w[4])
+                w = w[5]
+            elif op == STD_SS:
+                arr[w[1]].store(regs[w[2]], regs[w[3]])
+                w = w[4]
+            elif op == STD_SC:
+                arr[w[1]].store(regs[w[2]], w[3])
+                w = w[4]
+            elif op == STD_CS:
+                arr[w[1]].store(w[2], regs[w[3]])
+                w = w[4]
+            elif op == STD_CC:
+                arr[w[1]].store(w[2], w[3])
+                w = w[4]
+            elif op == RETREAD:
+                value = regs[w[2]]
+                if value is _UNDEF:
+                    raise SimulationError(
+                        f"read of undefined register {w[3]!r}")
+                regs[w[1]] = value
+                w = w[4]
+            elif op == INTRN:
+                call_args = []
+                for kind, payload in w[3]:
+                    if kind == 0:
+                        call_args.append(regs[payload])
+                    elif kind == 1:
+                        call_args.append(payload)
+                    else:
+                        raise SimulationError(payload)
+                regs[w[1]] = w[2](*call_args)
+                w = w[4]
+            elif op == CALL:
+                target = graphs.get(w[1])
+                if target is None:
+                    raise SimulationError(
+                        f"call to unknown function {w[1]!r}")
+                call_args = []
+                for kind, payload, aname in w[3]:
+                    if kind == 0:
+                        value = regs[payload]
+                        if value is _UNDEF:
+                            raise SimulationError(
+                                f"read of undefined register {aname!r}")
+                        call_args.append(value)
+                    elif kind == 1:
+                        call_args.append(payload)
+                    elif kind == 2:
+                        call_args.append(arr[payload])
+                    elif kind == 3:
+                        raise SimulationError(
+                            f"array argument {payload!r} is not bound")
+                    else:
+                        raise SimulationError(payload)
+                cyc[0] = n
+                value = _exec_graph(lmod, target, call_args, state)
+                n = cyc[0]
+                d = w[2]
+                if d is not None:
+                    regs[d] = value
+                w = w[4]
+            elif op == RET_R:
+                value = regs[w[1]]
+                if value is _UNDEF:
+                    raise SimulationError(
+                        f"read of undefined register {w[2]!r}")
+                regs[0] = value
+                cyc[0] = n
+                return value
+            elif op == RET_C:
+                value = w[1]
+                regs[0] = value
+                cyc[0] = n
+                return value
+            elif op == RET_N:
+                regs[0] = None
+                cyc[0] = n
+                return None
+            elif op == RET_S:
+                value = regs[w[1]]
+                regs[0] = value
+                cyc[0] = n
+                return value
+            elif op == ERROR:
+                raise SimulationError(w[1])
+            else:  # pragma: no cover - lowering never emits unknown codes
+                raise SimulationError(f"corrupt bytecode word {w!r}")
+        # Only the cycle-limit checks break out of the dispatch loop.
+        cyc[0] = n
+        raise SimulationError(
+            f"cycle limit ({limit}) exceeded; "
+            f"infinite loop in {lg.name!r}?")
+    finally:
+        state.depth = depth
+
+
+class BytecodeEngine:
+    """Drop-in replacement for :class:`CompiledEngine` (bytecode tier)."""
+
+    def __init__(self, module: GraphModule, max_cycles: int = 200_000_000):
+        self.module = module
+        self.max_cycles = max_cycles
+        self.lowered = lower_module(module)
+
+    def run_batch(self, inputs_list: Sequence[Optional[Dict[str, Sequence]]]
+                  ) -> List[MachineResult]:
+        """Run N input sets through the same lowered program.
+
+        Lowering (and the signature validation ``run_module`` pays per
+        call) happens once for the whole batch; each input set executes
+        with fresh globals and fresh flat profile counters, so results
+        are bit-identical to N independent :func:`run_module` calls.
+        """
+        return [self.run(inputs) for inputs in inputs_list]
+
+    def run(self, inputs: Optional[Dict[str, Sequence]] = None
+            ) -> MachineResult:
+        """Execute ``main`` with globals bound to *inputs*."""
+        module = self.module
+        globals_: Dict[str, ArrayStorage] = {}
+        for name, symbol in module.global_arrays.items():
+            init = module.array_initializers.get(name)
+            globals_[name] = ArrayStorage(symbol, init)
+        if inputs:
+            for name, values in inputs.items():
+                if name not in globals_:
+                    raise SimulationError(
+                        f"input {name!r} does not match any global array")
+                globals_[name].fill_from(values)
+
+        entry = module.entry
+        lmod = self.lowered
+        # Only branch edges are counted at runtime; node and fall-through
+        # counters are reconstructed below via resolve_counters.
+        state = _RunState(
+            globals_, self.max_cycles, {},
+            {name: [0] * len(lg.edge_pairs)
+             for name, lg in lmod.graphs.items()})
+        ret = _exec_graph(lmod, lmod.graphs[entry.name], [], state)
+
+        snapshot = {name: storage.snapshot()
+                    for name, storage in globals_.items()}
+        profile = ProfileData()
+        for name, lg in lmod.graphs.items():
+            node_hits, edge_hits = lg.resolve_counters(
+                state.edge_hits[name], state.call_counts.get(name, 0))
+            profile.merge_arrays(name, lg.node_ids, node_hits,
+                                 lg.edge_pairs, edge_hits)
+        for name, count in state.call_counts.items():
+            profile.call_counts[name] = count
+        # The dispatch loop checks the limit only at back-edges, branches
+        # and frame entries (the runaway guard); the exact cycle count is
+        # known once the counters are reconstructed, so a bounded overrun
+        # that slipped through still aborts here — a run either completes
+        # within the limit on every engine or raises on every engine.
+        if profile.total_cycles() > self.max_cycles:
+            raise SimulationError(
+                f"cycle limit ({self.max_cycles}) exceeded; "
+                f"infinite loop in {entry.name!r}?")
+        return MachineResult(ret, snapshot, profile)

@@ -14,6 +14,7 @@ two roles:
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import SimulationError
@@ -314,12 +315,43 @@ class GraphInterpreter:
 
 
 #: Engines ``run_module`` can dispatch to.  ``"compiled"`` is the
-#: closure-specialized engine (:mod:`repro.sim.engine`); ``"reference"``
-#: is the tree-walking :class:`GraphInterpreter`, kept as the semantic
-#: oracle the compiled engine is differentially tested against.
-ENGINES = ("compiled", "reference")
+#: closure-specialized engine (:mod:`repro.sim.engine`); ``"bytecode"``
+#: lowers the compiled graphs further to flat opcode/operand arrays run by
+#: one dispatch loop (:mod:`repro.sim.bytecode`); ``"reference"`` is the
+#: tree-walking :class:`GraphInterpreter`, kept as the semantic oracle the
+#: other engines are differentially tested against.
+ENGINES = ("compiled", "bytecode", "reference")
 
-DEFAULT_ENGINE = "compiled"
+#: Environment variable overriding the default engine (CI runs the whole
+#: tier-1 suite under ``REPRO_ENGINE=bytecode``).
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+
+def _default_engine() -> str:
+    """The engine ``REPRO_ENGINE`` selects, or ``"compiled"``.
+
+    An invalid value is returned as-is rather than raised here: it
+    surfaces as a clean "unknown engine" error (naming the variable) on
+    the first simulation, inside the CLI's normal error handling,
+    instead of as an import-time traceback.
+    """
+    value = os.environ.get(ENGINE_ENV_VAR)
+    if value is None or not value.strip():
+        return "compiled"
+    return value.strip()
+
+
+#: Resolved once at import: the engine every unpinned simulation uses.
+#: (Like any default argument it is frozen at import time — CI sets
+#: ``REPRO_ENGINE`` before launching the process.)
+DEFAULT_ENGINE = _default_engine()
+
+
+def _unknown_engine(engine: str) -> SimulationError:
+    message = f"unknown engine {engine!r} (expected one of {ENGINES})"
+    if os.environ.get(ENGINE_ENV_VAR, "").strip() == engine:
+        message += f"; set via {ENGINE_ENV_VAR}"
+    return SimulationError(message)
 
 
 def run_module(module: GraphModule,
@@ -328,18 +360,20 @@ def run_module(module: GraphModule,
                engine: str = DEFAULT_ENGINE) -> MachineResult:
     """Simulate *module* once on the selected *engine*.
 
-    Both engines produce bit-identical :class:`MachineResult`\\ s (return
-    value, memory state and profile); the compiled engine caches its
-    compilation on the module, so repeated runs — the exploration loop,
-    the study matrix — only pay compilation once.
+    Every engine produces bit-identical :class:`MachineResult`\\ s (return
+    value, memory state and profile); the compiled and bytecode engines
+    cache their compiled/lowered forms on the module, so repeated runs —
+    the exploration loop, the study matrix — only pay compilation once.
     """
     if engine == "compiled":
         from repro.sim.engine import CompiledEngine
         return CompiledEngine(module, max_cycles).run(inputs)
+    if engine == "bytecode":
+        from repro.sim.bytecode import BytecodeEngine
+        return BytecodeEngine(module, max_cycles).run(inputs)
     if engine == "reference":
         return GraphInterpreter(module, max_cycles).run(inputs)
-    raise SimulationError(
-        f"unknown engine {engine!r} (expected one of {ENGINES})")
+    raise _unknown_engine(engine)
 
 
 def run_module_batch(module: GraphModule,
@@ -348,17 +382,19 @@ def run_module_batch(module: GraphModule,
                      engine: str = DEFAULT_ENGINE) -> List[MachineResult]:
     """Simulate *module* on every input set of *inputs_list*, in order.
 
-    The multi-seed entry point: on the compiled engine the module is
-    compiled (and its cache signature validated) once for the whole batch
-    rather than once per run, while every run still gets fresh globals and
-    a fresh profile.  Results are bit-identical to calling
-    :func:`run_module` once per input set, on either engine.
+    The multi-seed entry point: on the compiled and bytecode engines the
+    module is compiled/lowered (and its cache signature validated) once
+    for the whole batch rather than once per run, while every run still
+    gets fresh globals and a fresh profile.  Results are bit-identical to
+    calling :func:`run_module` once per input set, on any engine.
     """
     if engine == "compiled":
         from repro.sim.engine import CompiledEngine
         return CompiledEngine(module, max_cycles).run_batch(inputs_list)
+    if engine == "bytecode":
+        from repro.sim.bytecode import BytecodeEngine
+        return BytecodeEngine(module, max_cycles).run_batch(inputs_list)
     if engine == "reference":
         return [GraphInterpreter(module, max_cycles).run(inputs)
                 for inputs in inputs_list]
-    raise SimulationError(
-        f"unknown engine {engine!r} (expected one of {ENGINES})")
+    raise _unknown_engine(engine)

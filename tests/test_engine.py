@@ -363,7 +363,8 @@ class TestBatchedSimulation:
             return real(module)
 
         monkeypatch.setattr(engine_mod, "compile_module", counting)
-        run_module_batch(gm, [spec.generate_inputs(s) for s in self.SEEDS])
+        run_module_batch(gm, [spec.generate_inputs(s) for s in self.SEEDS],
+                         engine="compiled")
         assert len(calls) == 1, "a batch must pay compilation exactly once"
 
     def test_empty_batch(self):

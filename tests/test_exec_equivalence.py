@@ -26,8 +26,9 @@ import pytest
 
 from repro.cfg.build import build_module_graphs
 from repro.errors import ReproError
-from repro.exec.pool import (JOBS_ENV_VAR, available_cpus, parallel_map,
-                             resolve_jobs)
+from repro.exec import pool as pool_mod
+from repro.exec.pool import (JOBS_ENV_VAR, PARALLEL_MIN_ITEMS,
+                             available_cpus, parallel_map, resolve_jobs)
 from repro.exec.scheduler import ScheduleStats, Task, run_tasks
 from repro.feedback.study import (BenchmarkStudy, StudyConfig, StudyResult,
                                   run_study)
@@ -214,12 +215,24 @@ def _double(x):
     return 2 * x
 
 
+def _worker_pid(_item):
+    return os.getpid()
+
+
 def _add(*xs):
     return sum(xs)
 
 
 def _boom():
     raise ValueError("worker exploded")
+
+
+def _slow_sentinel(path):
+    import time
+    time.sleep(0.3)
+    with open(path, "w") as fh:
+        fh.write("done")
+    return path
 
 
 class TestScheduler:
@@ -282,6 +295,18 @@ class TestScheduler:
     def test_empty_schedule(self):
         assert run_tasks([], jobs=2) == {}
 
+    def test_error_drains_running_siblings(self, tmp_path):
+        """A task failure must not leave siblings running in the
+        persistent pool: run_tasks waits for in-flight work before
+        re-raising, so callers find quiet workers afterwards."""
+        sentinel = tmp_path / "sibling.done"
+        tasks = [Task("slow", _slow_sentinel, (str(sentinel),)),
+                 Task("bad", _boom)]
+        with pytest.raises(ValueError, match="worker exploded"):
+            run_tasks(tasks, jobs=2)
+        assert sentinel.exists(), \
+            "in-flight sibling was abandoned mid-run"
+
 
 class TestPool:
     def test_parallel_map_preserves_order(self):
@@ -301,6 +326,18 @@ class TestPool:
         with pytest.raises(ReproError, match="jobs"):
             resolve_jobs(-2)
 
+    def test_resolve_negative_from_env_names_variable(self, monkeypatch):
+        """Satellite bugfix: a negative count coming from $REPRO_JOBS must
+        name the variable, so CI misconfiguration is diagnosable."""
+        monkeypatch.setenv(JOBS_ENV_VAR, "-3")
+        with pytest.raises(ReproError, match=JOBS_ENV_VAR):
+            resolve_jobs(None)
+        # ...while an explicit knob stays attributed to the caller.
+        monkeypatch.delenv(JOBS_ENV_VAR)
+        with pytest.raises(ReproError) as excinfo:
+            resolve_jobs(-3)
+        assert JOBS_ENV_VAR not in str(excinfo.value)
+
     def test_resolve_env_default(self, monkeypatch):
         monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
         assert resolve_jobs(None) == 1
@@ -317,6 +354,57 @@ class TestPool:
     def test_env_does_not_override_explicit_jobs(self, monkeypatch):
         monkeypatch.setenv(JOBS_ENV_VAR, "5")
         assert resolve_jobs(1) == 1
+
+    def test_small_map_cutoff_skips_pool(self, monkeypatch):
+        """Satellite bugfix: <= PARALLEL_MIN_ITEMS items never pay pool
+        dispatch — the serial path is faster and byte-identical."""
+        def exploding_pool(_workers):
+            raise AssertionError("small map must not touch the pool")
+
+        monkeypatch.setattr(pool_mod, "get_pool", exploding_pool)
+        items = list(range(PARALLEL_MIN_ITEMS))
+        assert parallel_map(_double, items, jobs=4) == \
+            [2 * x for x in items]
+
+    def test_results_identical_across_the_cutoff(self):
+        """The cutoff is invisible in results: maps one item below and
+        one item above it agree with the plain serial map."""
+        below = list(range(PARALLEL_MIN_ITEMS))
+        above = list(range(PARALLEL_MIN_ITEMS + 1))
+        assert parallel_map(_double, below, jobs=4) == \
+            [_double(x) for x in below]
+        assert parallel_map(_double, above, jobs=4) == \
+            [_double(x) for x in above]
+
+    def test_persistent_pool_reused_across_maps(self):
+        """Tentpole rider: consecutive parallel operations share the same
+        warm worker processes instead of respawning them.  (Which worker
+        handles which chunk is scheduler-dependent, so the invariant is
+        the executor and its process set, not the per-map pid split.)"""
+        items = list(range(8))
+        first_pids = set(parallel_map(_worker_pid, items, jobs=2))
+        first_pool = pool_mod._pool
+        workers = set(first_pool._processes)
+        second_pids = set(parallel_map(_worker_pid, items, jobs=2))
+        assert pool_mod._pool is first_pool
+        assert set(first_pool._processes) == workers
+        assert (first_pids | second_pids) <= workers
+        assert os.getpid() not in first_pids | second_pids
+
+    def test_persistent_pool_resized_on_demand(self):
+        parallel_map(_double, list(range(8)), jobs=2)
+        two_worker_pool = pool_mod._pool
+        parallel_map(_double, list(range(8)), jobs=3)
+        assert pool_mod._pool is not two_worker_pool
+        pool_mod.shutdown_pool()
+        assert pool_mod._pool is None
+
+    def test_scheduler_shares_the_persistent_pool(self):
+        run_tasks([Task(i, _double, (i,)) for i in range(6)], jobs=2)
+        scheduler_pool = pool_mod._pool
+        assert scheduler_pool is not None
+        parallel_map(_double, list(range(8)), jobs=2)
+        assert pool_mod._pool is scheduler_pool
 
 
 class TestPickleBoundary:
