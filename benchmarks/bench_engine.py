@@ -87,33 +87,58 @@ def test_simulator_throughput_bytecode(benchmark, edge_module, edge_spec):
     assert result.cycles > 10_000
 
 
-#: The compiled-vs-bytecode acceptance pair: per-benchmark columns in the
-#: bench JSON so the >= 1.5x simulator speedup is recorded for both.
+def test_simulator_throughput_codegen(benchmark, edge_module, edge_spec):
+    """Codegen engine on the same workload; the ratio against
+    ``test_simulator_throughput_bytecode`` is the tier-4 speedup
+    (target >= 1.5x)."""
+    gm = build_module_graphs(edge_module)
+    inputs = edge_spec.generate_inputs(0)
+    run_module(gm, inputs, engine="codegen")  # generate once outside
+    result = benchmark(run_module, gm, inputs, engine="codegen")
+    assert result.cycles > 10_000
+
+
+#: The acceptance pairs: per-benchmark, per-level columns in the bench
+#: JSON so the >= 1.5x tier-over-tier simulator speedups are recorded at
+#: every optimization level, not just the sequential graphs.
 SIM_BENCHES = ("edge", "sewha")
+SIM_LEVELS = (0, 1, 2)
 
 
-def _level0(name):
+def _optimized(name, level):
     spec = get_benchmark(name)
-    return build_module_graphs(compile_benchmark(spec)), \
-        spec.generate_inputs(0)
+    gm, _ = optimize_module(compile_benchmark(spec), OptLevel(level))
+    return gm, spec.generate_inputs(0)
 
 
 @pytest.mark.parametrize("name", SIM_BENCHES)
 def test_sim_compiled(benchmark, name):
-    gm, inputs = _level0(name)
+    gm, inputs = _optimized(name, 0)
     run_module(gm, inputs, engine="compiled")
     result = benchmark(run_module, gm, inputs, engine="compiled")
     assert result.cycles > 1_000
 
 
+@pytest.mark.parametrize("level", SIM_LEVELS)
 @pytest.mark.parametrize("name", SIM_BENCHES)
-def test_sim_bytecode(benchmark, name):
-    """Paired with ``test_sim_compiled[name]``: the compiled/bytecode
-    ratio per benchmark is the recorded tier-3 speedup."""
-    gm, inputs = _level0(name)
+def test_sim_bytecode(benchmark, name, level):
+    """Paired with ``test_sim_codegen[name-level]``: the bytecode/codegen
+    ratio per cell is the recorded tier-4 speedup."""
+    gm, inputs = _optimized(name, level)
     run_module(gm, inputs, engine="bytecode")
     result = benchmark(run_module, gm, inputs, engine="bytecode")
-    assert result.cycles > 1_000
+    assert result.cycles > 500
+
+
+@pytest.mark.parametrize("level", SIM_LEVELS)
+@pytest.mark.parametrize("name", SIM_BENCHES)
+def test_sim_codegen(benchmark, name, level):
+    """The tier-4 acceptance leg: >= 1.5x over the matching
+    ``test_sim_bytecode[name-level]`` on edge/sewha at levels 0-2."""
+    gm, inputs = _optimized(name, level)
+    run_module(gm, inputs, engine="codegen")
+    result = benchmark(run_module, gm, inputs, engine="codegen")
+    assert result.cycles > 500
 
 
 def test_simulator_compile_cost(benchmark, edge_module):
@@ -134,6 +159,16 @@ def test_simulator_lowering_cost(benchmark, edge_module):
     gm = build_module_graphs(edge_module)
     lowered = benchmark(LoweredModule, gm)
     assert lowered.graphs
+
+
+def test_simulator_codegen_cost(benchmark, edge_module):
+    """Cost of one cold source generation + exec-compile (cached under
+    the same structural signature as the other compiled forms)."""
+    from repro.sim.codegen import GeneratedModule
+
+    gm = build_module_graphs(edge_module)
+    generated = benchmark(GeneratedModule, gm)
+    assert generated.fns
 
 
 def _explore_edge(edge_module, edge_spec, engine):
@@ -167,6 +202,15 @@ def test_exploration_end_to_end_bytecode(benchmark, edge_module, edge_spec):
     lowered-form reuse across finalists)."""
     result = benchmark.pedantic(
         _explore_edge, args=(edge_module, edge_spec, "bytecode"),
+        rounds=3, iterations=1, warmup_rounds=1)
+    assert result.best is not None
+
+
+def test_exploration_end_to_end_codegen(benchmark, edge_module, edge_spec):
+    """Same exploration on the codegen tier (shared base simulation +
+    generated-source reuse across finalists)."""
+    result = benchmark.pedantic(
+        _explore_edge, args=(edge_module, edge_spec, "codegen"),
         rounds=3, iterations=1, warmup_rounds=1)
     assert result.best is not None
 

@@ -129,6 +129,8 @@ def explore_designs(module: Module,
     The measured design points come back in the same deterministic
     finalist order as the serial loop (``jobs=None``/1, bit-identical).
     """
+    from repro.sim.machine import ensure_engine
+    ensure_engine(engine)  # before the pipeline, not deep in a worker
     cost = cost_model or DEFAULT_COST_MODEL
     graph_module, _ = optimize_module(module, level,
                                       unroll_factor=unroll_factor)

@@ -303,14 +303,16 @@ class GraphModule:
         )
 
     def __getstate__(self):
-        # The compiled-engine cache holds closures, which cannot cross a
+        # The compiled-engine cache holds closures — and the codegen
+        # cache exec-compiled function objects — which cannot cross a
         # pickle boundary (the study executor ships modules to worker
-        # processes); the bytecode cache is dropped alongside it for the
-        # same per-process-rebuild contract.  Each process recompiles /
-        # re-lowers on first run instead.
+        # processes); the bytecode cache is dropped alongside them for
+        # the same per-process-rebuild contract.  Each process
+        # recompiles / re-lowers / regenerates on first run instead.
         state = self.__dict__.copy()
         state.pop("_compiled_cache", None)
         state.pop("_lowered_cache", None)
+        state.pop("_codegen_cache", None)
         return state
 
     def __repr__(self) -> str:

@@ -36,8 +36,16 @@ def _parse_levels(text: str) -> tuple:
 
 
 def _parse_seeds(text: str) -> tuple:
-    # Order is kept: the first seed is the primary result.
-    return tuple(int(part) for part in text.split(",") if part.strip())
+    # Order is kept: the first seed is the primary result.  Empty and
+    # duplicate-bearing lists are rejected here, at the flag, instead of
+    # misbehaving (silent single-seed fallback / double-counted seeds)
+    # deep inside the study — one policy, shared with the API boundary.
+    from repro.suite.runner import validate_seeds
+    seeds = tuple(int(part) for part in text.split(",") if part.strip())
+    try:
+        return validate_seeds(seeds, source="--seeds")
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
 
 
 def _add_engine_arg(parser) -> None:

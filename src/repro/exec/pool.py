@@ -34,7 +34,8 @@ import atexit
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Iterable, List, Optional, TypeVar
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, \
+    TypeVar
 
 from repro.errors import ReproError
 
@@ -83,6 +84,38 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     if jobs == 0:
         return available_cpus()
     return jobs
+
+
+# -- the per-worker derivation cache -----------------------------------------------
+
+_worker_cache: Dict[Hashable, object] = {}
+
+
+def worker_cached(key: Hashable, factory: Callable[[], T]) -> T:
+    """Per-process memo for deterministic derivations.
+
+    Lives in whichever process calls it: pool workers each keep their own
+    copy (it is *not* shipped across the pickle boundary), the serial
+    path uses the parent's.  The study executor routes every cell's
+    front-end compile through here keyed by benchmark name, so a worker
+    that already compiled ``edge`` for level 0 reuses that module for
+    levels 1 and 2 — the scheduler's affinity-aware placement makes that
+    the common case — exactly like the serial loop's one-compile-per-
+    benchmark sharing.  Only derivations that are pure functions of the
+    key belong here; the cache is never invalidated, only cleared with
+    :func:`clear_worker_cache`.
+    """
+    try:
+        return _worker_cache[key]  # type: ignore[return-value]
+    except KeyError:
+        value = factory()
+        _worker_cache[key] = value
+        return value
+
+
+def clear_worker_cache() -> None:
+    """Drop every memoized derivation (tests; otherwise never needed)."""
+    _worker_cache.clear()
 
 
 # -- the persistent pool -----------------------------------------------------------

@@ -41,6 +41,14 @@ class Task:
     (optional) runs in the parent right before submission and may extend
     the arguments with dependency results: ``bind(args, results)`` where
     ``results`` maps every dependency key to its finished result.
+
+    ``affinity`` (optional) groups tasks that profit from running in the
+    same worker process (shared per-worker caches, e.g. one front-end
+    compile per benchmark).  It is a *placement hint*, never a
+    correctness requirement: when a task completes, the scheduler
+    prefers submitting a ready task with the same affinity next — the
+    worker that just freed is the one most likely to pick it up — but
+    any worker may run any task.
     """
 
     key: Hashable
@@ -48,6 +56,7 @@ class Task:
     args: Tuple = ()
     deps: Tuple[Hashable, ...] = ()
     bind: Optional[Callable[[Tuple, Dict[Hashable, object]], Tuple]] = None
+    affinity: Optional[Hashable] = None
 
     def final_args(self, results: Dict[Hashable, object]) -> Tuple:
         if self.bind is None:
@@ -115,6 +124,10 @@ def run_tasks(tasks: Sequence[Task], jobs: Optional[int] = None,
     by_key = {task.key: task for task in tasks}
     waiting = list(tasks)
     in_flight: Dict = {}  # future -> key
+    #: affinity of the most recently completed task — the freed worker
+    #: is the likeliest to pick up the next submission, so a ready task
+    #: with the same affinity goes first (see :class:`Task`).
+    preferred: Optional[Hashable] = None
     # The persistent pool outlives this call: repeated studies reuse the
     # same warm workers instead of paying spin-up per run_tasks call.
     # The in-flight cap below bounds parallelism to *jobs* regardless of
@@ -125,18 +138,25 @@ def run_tasks(tasks: Sequence[Task], jobs: Optional[int] = None,
             submitted = True
             while submitted and len(in_flight) < jobs:
                 submitted = False
+                chosen = None
                 for i, task in enumerate(waiting):
                     if all(dep in results for dep in task.deps):
-                        waiting.pop(i)
-                        if on_start is not None:
-                            on_start(task.key)
-                        stats.order.append(task.key)
-                        stats.executed += 1
-                        future = pool.submit(
-                            task.fn, *task.final_args(results))
-                        in_flight[future] = task.key
-                        submitted = True
-                        break
+                        if chosen is None:
+                            chosen = i
+                        if preferred is not None \
+                                and task.affinity == preferred:
+                            chosen = i
+                            break
+                if chosen is not None:
+                    task = waiting.pop(chosen)
+                    if on_start is not None:
+                        on_start(task.key)
+                    stats.order.append(task.key)
+                    stats.executed += 1
+                    future = pool.submit(
+                        task.fn, *task.final_args(results))
+                    in_flight[future] = task.key
+                    submitted = True
             stats.max_in_flight = max(stats.max_in_flight,
                                       len(in_flight))
             if not in_flight:
@@ -145,6 +165,9 @@ def run_tasks(tasks: Sequence[Task], jobs: Optional[int] = None,
             for future in done:
                 key = in_flight.pop(future)
                 results[key] = future.result()  # re-raises task errors
+                completed = by_key[key]
+                if completed.affinity is not None:
+                    preferred = completed.affinity
     except BrokenProcessPool:
         for future in in_flight:
             future.cancel()

@@ -107,6 +107,12 @@ def run_study(config: StudyConfig = StudyConfig(),
     oracle — then levels 1/2 fan out) and produces bit-identical results.
     """
     from repro.exec.pool import resolve_jobs
+    from repro.sim.machine import ensure_engine
+    from repro.suite.runner import validate_seeds
+    # Misconfiguration surfaces here, before any compile or worker
+    # spawn, attributed to the knob it came from.
+    ensure_engine(config.engine)
+    validate_seeds(config.seeds, source="StudyConfig.seeds")
     jobs = resolve_jobs(config.jobs)
     if jobs > 1:
         from repro.exec.study import execute_study

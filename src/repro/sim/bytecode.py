@@ -43,10 +43,9 @@ from repro.sim.engine import (
     RET_C, RET_N, RET_R, RET_S, STD_CC, STD_CS, STD_SC, STD_SS,
     STORE_CI_J, STORE_J, ST_CC, ST_CR, ST_RC, ST_RR, SUB_RC, SUB_RC_J,
     SUB_RR, SUB_RR_J, TEST, UNF, UNFC, UNF_J, LoweredModule,
-    _LoweredGraph, _RunState, _UNDEF, lower_module)
+    _LoweredGraph, _RunState, _UNDEF, lower_module, run_lowered_module)
 from repro.sim.machine import _MAX_CALL_DEPTH, MachineResult
 from repro.sim.memory import ArrayStorage
-from repro.sim.profile import ProfileData
 
 
 def _exec_graph(lmod: LoweredModule, lg: _LoweredGraph, args: List,
@@ -406,46 +405,15 @@ class BytecodeEngine:
 
     def run(self, inputs: Optional[Dict[str, Sequence]] = None
             ) -> MachineResult:
-        """Execute ``main`` with globals bound to *inputs*."""
-        module = self.module
-        globals_: Dict[str, ArrayStorage] = {}
-        for name, symbol in module.global_arrays.items():
-            init = module.array_initializers.get(name)
-            globals_[name] = ArrayStorage(symbol, init)
-        if inputs:
-            for name, values in inputs.items():
-                if name not in globals_:
-                    raise SimulationError(
-                        f"input {name!r} does not match any global array")
-                globals_[name].fill_from(values)
+        """Execute ``main`` with globals bound to *inputs*.
 
-        entry = module.entry
+        The frame around the dispatch loop — globals/input binding,
+        branch-only runtime counters, exact profile reconstruction and
+        the post-run cycle-limit check — is the run contract shared
+        with the codegen tier (:func:`~repro.sim.engine.
+        run_lowered_module`)."""
         lmod = self.lowered
-        # Only branch edges are counted at runtime; node and fall-through
-        # counters are reconstructed below via resolve_counters.
-        state = _RunState(
-            globals_, self.max_cycles, {},
-            {name: [0] * len(lg.edge_pairs)
-             for name, lg in lmod.graphs.items()})
-        ret = _exec_graph(lmod, lmod.graphs[entry.name], [], state)
-
-        snapshot = {name: storage.snapshot()
-                    for name, storage in globals_.items()}
-        profile = ProfileData()
-        for name, lg in lmod.graphs.items():
-            node_hits, edge_hits = lg.resolve_counters(
-                state.edge_hits[name], state.call_counts.get(name, 0))
-            profile.merge_arrays(name, lg.node_ids, node_hits,
-                                 lg.edge_pairs, edge_hits)
-        for name, count in state.call_counts.items():
-            profile.call_counts[name] = count
-        # The dispatch loop checks the limit only at back-edges, branches
-        # and frame entries (the runaway guard); the exact cycle count is
-        # known once the counters are reconstructed, so a bounded overrun
-        # that slipped through still aborts here — a run either completes
-        # within the limit on every engine or raises on every engine.
-        if profile.total_cycles() > self.max_cycles:
-            raise SimulationError(
-                f"cycle limit ({self.max_cycles}) exceeded; "
-                f"infinite loop in {entry.name!r}?")
-        return MachineResult(ret, snapshot, profile)
+        return run_lowered_module(
+            self.module, lmod, self.max_cycles, inputs,
+            lambda name, state:
+            _exec_graph(lmod, lmod.graphs[name], [], state))

@@ -1575,9 +1575,9 @@ class _LoweredGraph:
 
     __slots__ = ("name", "n_params", "param_plan", "local_plan",
                  "global_plan", "missing_plan", "n_regs", "n_arrays",
-                 "words", "entry_word", "entry_idx", "node_ids",
-                 "edge_pairs", "n_counters", "_in_edges", "_derived_out",
-                 "_derived_in_count", "_edge_dst_idx")
+                 "scratch_watermark", "words", "entry_word", "entry_idx",
+                 "node_ids", "edge_pairs", "n_counters", "_in_edges",
+                 "_derived_out", "_derived_in_count", "_edge_dst_idx")
 
     def __init__(self, graph: ProgramGraph, module: GraphModule,
                  lmod: "LoweredModule"):
@@ -1639,6 +1639,9 @@ class _LoweredGraph:
         self.missing_plan = low.missing_plan
         self.n_regs = len(low.reg_slots) + 1 + low.scratch_watermark
         self.n_arrays = len(low.arr_slots)
+        # Kept for the codegen tier: how many scratch (negative) slots
+        # the generated source must declare as locals.
+        self.scratch_watermark = low.scratch_watermark
         self._in_edges = in_edges
         self._derived_out = derived_out
         self._derived_in_count = derived_in_count
@@ -1709,6 +1712,58 @@ def lower_module(module: GraphModule) -> LoweredModule:
 
 
 # -- execution --------------------------------------------------------------------
+
+
+def run_lowered_module(module: GraphModule, lmod: LoweredModule,
+                       max_cycles: int,
+                       inputs: Optional[Dict[str, Sequence]],
+                       call_entry) -> MachineResult:
+    """Shared run frame of the word-executing tiers (bytecode, codegen).
+
+    Both tiers differ only in *how* the entry graph executes —
+    ``call_entry(entry_name, state)`` is the bytecode dispatch loop or
+    the generated function — while everything around it is one
+    contract: globals built from initializers and bound to *inputs*,
+    branch-only runtime counters sized per graph, node/edge profiles
+    reconstructed exactly via :meth:`_LoweredGraph.resolve_counters`,
+    and the sparse-in-run / exact-post-run cycle-limit check (a bounded
+    overrun that slips past the back-edge checks still aborts here, so
+    a run either completes within the limit on every engine or raises
+    on every engine).
+    """
+    globals_: Dict[str, ArrayStorage] = {}
+    for name, symbol in module.global_arrays.items():
+        init = module.array_initializers.get(name)
+        globals_[name] = ArrayStorage(symbol, init)
+    if inputs:
+        for name, values in inputs.items():
+            if name not in globals_:
+                raise SimulationError(
+                    f"input {name!r} does not match any global array")
+            globals_[name].fill_from(values)
+
+    entry = module.entry
+    state = _RunState(
+        globals_, max_cycles, {},
+        {name: [0] * len(lg.edge_pairs)
+         for name, lg in lmod.graphs.items()})
+    ret = call_entry(entry.name, state)
+
+    snapshot = {name: storage.snapshot()
+                for name, storage in globals_.items()}
+    profile = ProfileData()
+    for name, lg in lmod.graphs.items():
+        node_hits, edge_hits = lg.resolve_counters(
+            state.edge_hits[name], state.call_counts.get(name, 0))
+        profile.merge_arrays(name, lg.node_ids, node_hits,
+                             lg.edge_pairs, edge_hits)
+    for name, count in state.call_counts.items():
+        profile.call_counts[name] = count
+    if profile.total_cycles() > max_cycles:
+        raise SimulationError(
+            f"cycle limit ({max_cycles}) exceeded; "
+            f"infinite loop in {entry.name!r}?")
+    return MachineResult(ret, snapshot, profile)
 
 
 def _run_graph(cmod: CompiledModule, cg: _CompiledGraph, args: List):

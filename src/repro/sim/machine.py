@@ -317,10 +317,12 @@ class GraphInterpreter:
 #: Engines ``run_module`` can dispatch to.  ``"compiled"`` is the
 #: closure-specialized engine (:mod:`repro.sim.engine`); ``"bytecode"``
 #: lowers the compiled graphs further to flat opcode/operand arrays run by
-#: one dispatch loop (:mod:`repro.sim.bytecode`); ``"reference"`` is the
-#: tree-walking :class:`GraphInterpreter`, kept as the semantic oracle the
-#: other engines are differentially tested against.
-ENGINES = ("compiled", "bytecode", "reference")
+#: one dispatch loop (:mod:`repro.sim.bytecode`); ``"codegen"`` walks the
+#: lowered words and exec-compiles specialized Python source per graph
+#: (:mod:`repro.sim.codegen`); ``"reference"`` is the tree-walking
+#: :class:`GraphInterpreter`, kept as the semantic oracle the other
+#: engines are differentially tested against.
+ENGINES = ("compiled", "bytecode", "codegen", "reference")
 
 #: Environment variable overriding the default engine (CI runs the whole
 #: tier-1 suite under ``REPRO_ENGINE=bytecode``).
@@ -354,6 +356,19 @@ def _unknown_engine(engine: str) -> SimulationError:
     return SimulationError(message)
 
 
+def ensure_engine(engine: str) -> str:
+    """Validate an engine name *before* any expensive work starts.
+
+    Entry points that fan out (the study executor, the exploration loop)
+    call this up front so a typo'd ``--engine`` / ``REPRO_ENGINE`` value
+    raises one clean, source-attributed error instead of failing deep
+    inside a worker process mid-run.
+    """
+    if engine not in ENGINES:
+        raise _unknown_engine(engine)
+    return engine
+
+
 def run_module(module: GraphModule,
                inputs: Optional[Dict[str, Sequence]] = None,
                max_cycles: int = 200_000_000,
@@ -371,6 +386,9 @@ def run_module(module: GraphModule,
     if engine == "bytecode":
         from repro.sim.bytecode import BytecodeEngine
         return BytecodeEngine(module, max_cycles).run(inputs)
+    if engine == "codegen":
+        from repro.sim.codegen import CodegenEngine
+        return CodegenEngine(module, max_cycles).run(inputs)
     if engine == "reference":
         return GraphInterpreter(module, max_cycles).run(inputs)
     raise _unknown_engine(engine)
@@ -394,6 +412,9 @@ def run_module_batch(module: GraphModule,
     if engine == "bytecode":
         from repro.sim.bytecode import BytecodeEngine
         return BytecodeEngine(module, max_cycles).run_batch(inputs_list)
+    if engine == "codegen":
+        from repro.sim.codegen import CodegenEngine
+        return CodegenEngine(module, max_cycles).run_batch(inputs_list)
     if engine == "reference":
         return [GraphInterpreter(module, max_cycles).run(inputs)
                 for inputs in inputs_list]

@@ -22,12 +22,12 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.cfg.graph import GraphModule
 from repro.chaining.detect import (DEFAULT_LENGTHS, DetectionResult,
                                    detect_sequences)
-from repro.errors import OptimizationError
+from repro.errors import OptimizationError, ReproError
 from repro.frontend import compile_source
 from repro.ir.module import Module
 from repro.opt.pipeline import OptLevel, OptimizationReport, optimize_module
-from repro.sim.machine import (DEFAULT_ENGINE, MachineResult, run_module,
-                               run_module_batch)
+from repro.sim.machine import (DEFAULT_ENGINE, MachineResult, ensure_engine,
+                               run_module, run_module_batch)
 from repro.suite.registry import BenchmarkSpec
 
 #: ``check_against`` accepts the level-0 result for the primary seed or a
@@ -88,6 +88,38 @@ def compile_benchmark(spec: BenchmarkSpec) -> Module:
     return compile_source(spec.source, spec.name, filename=f"{spec.name}.c")
 
 
+def validate_seeds(seeds: Optional[Sequence[int]],
+                   source: str = "seeds=") -> Optional[Tuple[int, ...]]:
+    """Normalize a multi-seed list, rejecting the silently-wrong shapes.
+
+    An *empty* list used to fall back to single-seed behavior without a
+    word, and duplicate seeds simulated the same inputs twice while
+    reporting them as distinct — both now raise up front, attributed to
+    *source* (the knob the value came from), before any compilation or
+    worker spawn.
+    """
+    if seeds is None:
+        return None
+    seeds = tuple(seeds)
+    if not seeds:
+        raise ReproError(
+            f"{source} is empty: pass at least one input seed, or omit "
+            f"it to simulate the single default seed")
+    seen: set = set()
+    repeated: set = set()
+    for s in seeds:
+        if s in seen:
+            repeated.add(s)
+        seen.add(s)
+    duplicates = sorted(repeated)
+    if duplicates:
+        raise ReproError(
+            f"{source} contains duplicate seed(s) "
+            f"{', '.join(map(str, duplicates))}: each input seed must "
+            f"be unique")
+    return seeds
+
+
 def verify_semantics(spec: BenchmarkSpec, level: OptLevel,
                      result: MachineResult,
                      reference: MachineResult) -> None:
@@ -121,24 +153,34 @@ def run_benchmark(spec: BenchmarkSpec,
                   check_against: Optional[Reference] = None,
                   module: Optional[Module] = None,
                   engine: str = DEFAULT_ENGINE,
-                  seeds: Optional[Sequence[int]] = None) -> BenchmarkRun:
+                  seeds: Optional[Sequence[int]] = None,
+                  optimized: Optional[Tuple[GraphModule,
+                                            OptimizationReport]] = None
+                  ) -> BenchmarkRun:
     """Compile, optimize, simulate and analyze one benchmark.
 
     ``check_against`` (typically the level-0 run's machine result, or its
     per-seed results for a multi-seed run) enables the semantic-
     preservation oracle: differing outputs raise
     :class:`~repro.errors.OptimizationError`.  Pass a pre-compiled
-    ``module`` to skip the front end when running several levels.
-    ``engine`` selects the simulation engine (see
+    ``module`` to skip the front end when running several levels, or a
+    pre-optimized ``optimized=(graph_module, report)`` pair to skip the
+    optimizer too (the study executor's per-worker memo).  ``engine``
+    selects the simulation engine (see
     :func:`~repro.sim.machine.run_module`).  ``seeds`` batches several
     input seeds through one compiled program; it overrides ``seed`` and
     its first entry becomes the primary result.
     """
     level = OptLevel(level)
+    ensure_engine(engine)
+    seeds = validate_seeds(seeds)
     if module is None:
         module = compile_benchmark(spec)
-    graph_module, report = optimize_module(module, level,
-                                           unroll_factor=unroll_factor)
+    if optimized is not None:
+        graph_module, report = optimized
+    else:
+        graph_module, report = optimize_module(module, level,
+                                               unroll_factor=unroll_factor)
     if seeds:
         seed_list = tuple(seeds)
         results = run_module_batch(

@@ -27,6 +27,35 @@ class TestParser:
         args = build_parser().parse_args(["study", "--levels", "2,0,0"])
         assert args.levels == (0, 2)
 
+    def test_engine_choices_cover_all_four_tiers(self):
+        from repro.sim.machine import ENGINES
+        assert set(ENGINES) == {"compiled", "bytecode", "codegen",
+                                "reference"}
+        for engine in ENGINES:
+            args = build_parser().parse_args(
+                ["study", "--engine", engine])
+            assert args.engine == engine
+
+    def test_invalid_engine_rejected_at_the_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--engine", "turbo"])
+        assert "--engine" in capsys.readouterr().err
+
+    def test_seeds_parsing_keeps_order(self):
+        args = build_parser().parse_args(["study", "--seeds", "3,0,2"])
+        assert args.seeds == (3, 0, 2)
+
+    def test_empty_seeds_rejected_at_the_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--seeds", " , "])
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_duplicate_seeds_rejected_at_the_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--seeds", "1,2,1"])
+        err = capsys.readouterr().err
+        assert "--seeds" in err and "duplicate" in err
+
 
 class TestList:
     def test_lists_all_twelve(self):

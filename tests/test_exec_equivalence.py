@@ -451,3 +451,224 @@ class TestStudyConfigErrors:
                 assert_runs_identical(
                     serial.benchmark(name).run_at(level),
                     parallel.benchmark(name).run_at(level))
+
+
+# -- PR-4 executor upgrades: shared compiles, sharding, recovery, validation -------
+
+
+def _crash_worker(_item):
+    os._exit(13)  # simulate a worker process dying mid-task
+
+
+def _cached_probe(key):
+    from repro.exec.pool import worker_cached
+    first = worker_cached(key, object)
+    second = worker_cached(key, object)
+    return first is second
+
+
+class TestSeedSharding:
+    """Large multi-seed cells shard across workers, bit-identically."""
+
+    SEEDS = tuple(range(6))  # >= SEED_SHARD_MIN: the sharded path
+    CONFIG = dict(benchmarks=("fir", "sewha"), seeds=SEEDS)
+
+    @pytest.fixture(scope="class")
+    def serial(self):
+        return run_study(StudyConfig(jobs=1, **self.CONFIG))
+
+    @pytest.fixture(scope="class")
+    def sharded(self):
+        return run_study(StudyConfig(jobs=3, **self.CONFIG))
+
+    def test_schedule_contains_shard_tasks(self):
+        from repro.exec.study import build_schedule
+        tasks = build_schedule(StudyConfig(**self.CONFIG),
+                               ["fir", "sewha"], jobs=3)
+        shard_keys = [t.key for t in tasks if len(t.key) == 3]
+        assert shard_keys, "a 6-seed cell on 3 workers must shard"
+        # every shard of a non-oracle level depends on the matching
+        # level-0 shard, never on the whole cell
+        for task in tasks:
+            if len(task.key) == 3 and task.key[1] != 0:
+                assert task.deps == ((task.key[0], 0, task.key[2]),)
+
+    def test_shard_seeds_partitions_in_order(self):
+        from repro.exec.study import shard_seeds
+        shards = shard_seeds(self.SEEDS, 3)
+        assert len(shards) == 3
+        assert tuple(s for shard in shards for s in shard) == self.SEEDS
+        assert shard_seeds(self.SEEDS, 1) == [self.SEEDS]
+        assert shard_seeds((0, 1), 4) == [(0, 1)]  # below the minimum
+        assert shard_seeds(None, 4) == [None]
+
+    def test_bit_identical_to_serial(self, serial, sharded):
+        for name in self.CONFIG["benchmarks"]:
+            for level in LEVELS:
+                ra = serial.benchmark(name).run_at(level)
+                rb = sharded.benchmark(name).run_at(level)
+                assert ra.seeds == self.SEEDS == rb.seeds
+                assert_runs_identical(ra, rb)
+                assert ra.cycles_by_seed() == rb.cycles_by_seed()
+                for sa, sb in zip(ra.seed_results, rb.seed_results):
+                    assert sa.globals_after == sb.globals_after
+                    assert sa.profile == sb.profile
+
+    def test_rendered_tables_identical(self, serial, sharded):
+        assert table2(sharded) == table2(serial)
+
+    def test_progress_fires_once_per_cell(self):
+        seen = []
+        run_study(StudyConfig(jobs=3, **self.CONFIG),
+                  progress=lambda name, level: seen.append((name, level)))
+        assert sorted(seen) == sorted(
+            (name, level) for name in self.CONFIG["benchmarks"]
+            for level in LEVELS)
+
+
+class TestWorkerCompileCache:
+    """One front-end compile per benchmark per process."""
+
+    def test_worker_cached_memoizes(self):
+        from repro.exec.pool import clear_worker_cache, worker_cached
+        clear_worker_cache()
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return "module"
+
+        assert worker_cached(("frontend", "x"), factory) == "module"
+        assert worker_cached(("frontend", "x"), factory) == "module"
+        assert len(calls) == 1
+        clear_worker_cache()
+
+    def test_memo_lives_inside_the_worker(self):
+        # the memo must be per-process (it is never pickled across), so
+        # a worker probing its own cache twice sees one entry
+        results = parallel_map(_cached_probe,
+                               [("probe", i) for i in range(8)], jobs=2)
+        assert all(results)
+
+    def test_cells_share_the_frontend_compile(self, monkeypatch):
+        """In one process, every cell of a benchmark reuses one front-end
+        compile — the serial path's per-benchmark sharing, now in the
+        executor too."""
+        import repro.exec.study as study_mod
+        from repro.exec.pool import clear_worker_cache
+        clear_worker_cache()
+        compiles = []
+        real = study_mod.compile_benchmark
+
+        def counting(spec):
+            compiles.append(spec.name)
+            return real(spec)
+
+        monkeypatch.setattr(study_mod, "compile_benchmark", counting)
+        config = StudyConfig(benchmarks=("fir", "iir"), jobs=1)
+        from repro.exec.study import execute_study
+        execute_study(config, jobs=1)
+        assert sorted(compiles) == ["fir", "iir"], \
+            "three levels per benchmark must share one compile"
+        clear_worker_cache()
+
+    def test_affinity_groups_benchmark_cells(self):
+        from repro.exec.study import build_schedule
+        tasks = build_schedule(StudyConfig(benchmarks=("fir", "iir")),
+                               ["fir", "iir"])
+        for task in tasks:
+            assert task.affinity == task.key[0]
+
+
+class TestBrokenPoolRecovery:
+    """A worker crash mid-study discards the broken pool; the retried
+    study starts on a fresh pool and still matches the serial result."""
+
+    def test_crash_then_retry_matches_serial(self):
+        from concurrent.futures.process import BrokenProcessPool
+
+        # a schedule whose task kills its worker process outright
+        with pytest.raises(BrokenProcessPool):
+            run_tasks([Task("boom", _crash_worker, (0,))]
+                      + [Task(i, _double, (i,)) for i in range(4)],
+                      jobs=2)
+        # the recovery path forgot the broken pool...
+        assert pool_mod._pool is None
+        # ...so the retried study builds a healthy one and is
+        # indistinguishable from the serial run.
+        config = dict(benchmarks=("fir", "iir"))
+        retried = run_study(StudyConfig(jobs=2, **config))
+        serial = run_study(StudyConfig(jobs=1, **config))
+        assert pool_mod._pool is not None
+        for name in serial.names():
+            for level in LEVELS:
+                assert_runs_identical(serial.benchmark(name).run_at(level),
+                                      retried.benchmark(name).run_at(level))
+
+    def test_parallel_map_crash_recovery(self):
+        from concurrent.futures.process import BrokenProcessPool
+        with pytest.raises(BrokenProcessPool):
+            parallel_map(_crash_worker, list(range(6)), jobs=2)
+        assert pool_mod._pool is None
+        assert parallel_map(_double, list(range(6)), jobs=2) == \
+            [2 * x for x in range(6)]
+
+
+class TestInputValidation:
+    """Satellite fix: misconfiguration raises clearly, up front."""
+
+    def test_invalid_engine_rejected_before_any_work(self, monkeypatch):
+        import repro.feedback.study as study_mod
+        from repro.errors import SimulationError
+
+        def exploding(*_a, **_k):
+            raise AssertionError("must fail before compiling anything")
+
+        monkeypatch.setattr(study_mod, "compile_benchmark", exploding)
+        with pytest.raises(SimulationError, match="unknown engine"):
+            run_study(StudyConfig(benchmarks=("fir",), engine="turbo"))
+
+    def test_invalid_engine_from_env_names_variable(self):
+        from repro.errors import SimulationError
+        from repro.sim.machine import ENGINE_ENV_VAR
+        os.environ[ENGINE_ENV_VAR] = "warp9"
+        try:
+            with pytest.raises(SimulationError, match=ENGINE_ENV_VAR):
+                run_study(StudyConfig(benchmarks=("fir",), engine="warp9"))
+        finally:
+            del os.environ[ENGINE_ENV_VAR]
+
+    def test_invalid_engine_rejected_in_run_benchmark(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError, match="unknown engine"):
+            run_benchmark(get_benchmark("fir"), OptLevel.NONE,
+                          engine="turbo")
+
+    def test_invalid_engine_rejected_in_explore(self):
+        from repro.asip.explore import explore_designs
+        from repro.errors import SimulationError
+        spec = get_benchmark("sewha")
+        with pytest.raises(SimulationError, match="unknown engine"):
+            explore_designs(compile_benchmark(spec),
+                            spec.generate_inputs(0), engine="turbo")
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ReproError, match="StudyConfig.seeds is empty"):
+            run_study(StudyConfig(benchmarks=("fir",), seeds=()))
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ReproError, match="duplicate seed"):
+            run_study(StudyConfig(benchmarks=("fir",), seeds=(0, 1, 0)))
+
+    def test_run_benchmark_seed_validation(self):
+        with pytest.raises(ReproError, match="seeds= is empty"):
+            run_benchmark(get_benchmark("fir"), OptLevel.NONE, seeds=())
+        with pytest.raises(ReproError, match="duplicate seed"):
+            run_benchmark(get_benchmark("fir"), OptLevel.NONE,
+                          seeds=(3, 3))
+
+    def test_valid_seeds_pass_through(self):
+        from repro.suite.runner import validate_seeds
+        assert validate_seeds(None) is None
+        assert validate_seeds((2, 0, 1)) == (2, 0, 1)
+        assert validate_seeds([5]) == (5,)
