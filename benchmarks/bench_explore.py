@@ -1,0 +1,131 @@
+"""Exploration-level performance benchmarks: suite-wide + cold-start.
+
+``bench_engine.py`` watches single simulations and per-benchmark
+exploration; this file watches the two paths PR 5 added:
+
+* **the exploration study** — the full 12-benchmark design-space matrix
+  behind ``python -m repro explore-study``, serial vs ``jobs=4`` on the
+  persistent pool (per-benchmark base simulation gating its budget
+  cells).  As with ``bench_study.py``, the parallel ratio is asserted
+  nowhere — it depends on core count — but both shapes assert the full
+  matrix and identical-by-construction results;
+* **the compile-artifact disk cache** — cold-process module setup
+  (lowering + code generation from scratch) vs the same setup served
+  from a warm ``REPRO_CACHE`` directory, measured on the codegen tier
+  where generation is most expensive.  Every timed iteration starts
+  from a *fresh* front-end compile, exactly like a new process.
+
+Run with ``--benchmark-json=bench_explore.json`` (as CI does) to emit
+the same JSON shape as the other benchmark files; the headline numbers
+are recorded in ``benchmarks/results/bench_explore.json``.
+"""
+
+import pytest
+
+from repro.exec.pool import available_cpus
+from repro.feedback.study import (ExplorationStudyConfig,
+                                  run_exploration_study)
+from repro.opt.pipeline import OptLevel, optimize_module
+from repro.sim import diskcache
+from repro.sim.machine import run_module
+from repro.suite.registry import all_benchmarks, get_benchmark
+from repro.suite.runner import compile_benchmark
+
+BUDGETS = (1500, 2500)
+
+
+def _assert_full_matrix(study):
+    names = [spec.name for spec in all_benchmarks()]
+    assert study.names() == names
+    for name in names:
+        for budget in BUDGETS:
+            assert study.exploration(name, budget).measured
+
+
+def test_exploration_study_serial(benchmark):
+    """The serial baseline: the denominator of the parallel speedup."""
+    study = benchmark.pedantic(
+        run_exploration_study,
+        args=(ExplorationStudyConfig(budgets=BUDGETS, jobs=1),),
+        rounds=3, iterations=1)
+    _assert_full_matrix(study)
+
+
+def test_exploration_study_parallel(benchmark):
+    """The matrix on four workers: base tasks fan out immediately, each
+    benchmark's budget cells follow its base."""
+    if available_cpus() < 2:
+        pytest.skip("single-CPU machine: a process pool cannot win")
+    study = benchmark.pedantic(
+        run_exploration_study,
+        args=(ExplorationStudyConfig(budgets=BUDGETS, jobs=4),),
+        rounds=3, iterations=1)
+    _assert_full_matrix(study)
+
+
+# -- cold-start: the disk cache ----------------------------------------------------
+
+
+SPEC = get_benchmark("edge")
+INPUTS = SPEC.generate_inputs(0)
+
+
+def _cold_setup(engine):
+    """What a cold process pays before its first simulated cycle: front
+    end + optimizer (always) and lowering/generation (unless the disk
+    tier serves them)."""
+    gm, _ = optimize_module(compile_benchmark(SPEC), OptLevel(1))
+    return run_module(gm, INPUTS, engine=engine)
+
+
+@pytest.fixture()
+def cold_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(diskcache.CACHE_ENV_VAR, str(tmp_path))
+    diskcache.reset_cache_state()
+    yield
+    diskcache.reset_cache_state()
+
+
+@pytest.fixture()
+def warm_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(diskcache.CACHE_ENV_VAR, str(tmp_path))
+    diskcache.reset_cache_state()
+    _cold_setup("codegen")  # prime both tiers
+    yield
+    diskcache.reset_cache_state()
+
+
+def test_codegen_cold_start_no_cache(benchmark, cold_cache):
+    """Cold start with an empty cache directory: full lowering +
+    generation, plus the store."""
+    def run():
+        diskcache.get_cache().clear()
+        return _cold_setup("codegen")
+    result = benchmark.pedantic(run, rounds=5, iterations=1)
+    assert result.cycles > 0
+
+
+def test_codegen_cold_start_warm_cache(benchmark, warm_cache):
+    """Cold start against a warm cache: lowering and generation served
+    from disk (the ratio to the test above is the cold-start win)."""
+    result = benchmark.pedantic(lambda: _cold_setup("codegen"),
+                                rounds=5, iterations=1)
+    assert result.cycles > 0
+    cache = diskcache.get_cache()
+    assert cache.hits["codegen"] >= 5  # every round was served
+    assert not cache.corrupt
+
+
+def test_exploration_study_warm_cache(benchmark, warm_cache):
+    """A small exploration study with every compile artifact already on
+    disk — the repeated-CLI-invocation shape ``explore-study`` users
+    actually hit."""
+    config = ExplorationStudyConfig(benchmarks=("edge", "sewha"),
+                                    budgets=BUDGETS, engine="codegen",
+                                    jobs=1)
+    run_exploration_study(config)  # prime the fused finalists too
+    study = benchmark.pedantic(run_exploration_study, args=(config,),
+                               rounds=3, iterations=1)
+    for name in ("edge", "sewha"):
+        for budget in BUDGETS:
+            assert study.exploration(name, budget).measured

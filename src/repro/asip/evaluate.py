@@ -25,7 +25,8 @@ from repro.cfg.graph import GraphModule
 from repro.errors import AsipError
 from repro.ir.module import Module
 from repro.opt.pipeline import OptLevel, optimize_module
-from repro.sim.machine import DEFAULT_ENGINE, MachineResult, run_module
+from repro.sim.machine import (DEFAULT_ENGINE, MachineResult, run_module,
+                               run_module_batch)
 
 
 @dataclass
@@ -55,6 +56,28 @@ class AsipEvaluation:
                 f"({self.speedup:.3f}x, area {self.extension_area})>")
 
 
+def _chain_accounting(fused_module: GraphModule,
+                      fused_result: MachineResult, cost: CostModel
+                      ) -> Tuple[int, Dict[Tuple[str, ...], int]]:
+    """(extra issue cycles, per-pattern dynamic issue counts) of one run."""
+    extra_cycles = 0
+    chain_issues: Dict[Tuple[str, ...], int] = {}
+    for fn_name, graph in fused_module.graphs.items():
+        counts = fused_result.profile.node_counts.get(fn_name, {})
+        for nid, node in graph.nodes.items():
+            for ins in node.ops:
+                if not isinstance(ins, FusedInstruction):
+                    continue
+                executed = counts.get(nid, 0)
+                pattern = tuple(ins.chain.pattern)
+                chain_issues[pattern] = \
+                    chain_issues.get(pattern, 0) + executed
+                extra = cost.chain_cycles(pattern) - 1
+                if extra > 0:
+                    extra_cycles += extra * executed
+    return extra_cycles, chain_issues
+
+
 def evaluate_on_sequential(seq_module: GraphModule, isa: InstructionSet,
                            inputs: Optional[dict] = None,
                            cost_model: Optional[CostModel] = None,
@@ -80,27 +103,88 @@ def evaluate_on_sequential(seq_module: GraphModule, isa: InstructionSet,
             "chained execution diverged from the base processor — "
             "instruction selection broke program semantics")
 
-    extra_cycles = 0
-    chain_issues: Dict[Tuple[str, ...], int] = {}
-    for fn_name, graph in fused_module.graphs.items():
-        counts = fused_result.profile.node_counts.get(fn_name, {})
-        for nid, node in graph.nodes.items():
-            for ins in node.ops:
-                if not isinstance(ins, FusedInstruction):
-                    continue
-                executed = counts.get(nid, 0)
-                pattern = tuple(ins.chain.pattern)
-                chain_issues[pattern] = \
-                    chain_issues.get(pattern, 0) + executed
-                extra = cost.chain_cycles(pattern) - 1
-                if extra > 0:
-                    extra_cycles += extra * executed
-
+    extra_cycles, chain_issues = _chain_accounting(fused_module,
+                                                   fused_result, cost)
     return AsipEvaluation(
         base_cycles=base_result.cycles,
         chained_cycles=fused_result.cycles + extra_cycles,
         extension_area=isa.extension_area(),
         selection=stats,
+        chain_issues=chain_issues,
+    )
+
+
+def evaluate_on_sequential_batch(seq_module: GraphModule,
+                                 isa: InstructionSet,
+                                 inputs_list: Sequence[Optional[dict]],
+                                 cost_model: Optional[CostModel] = None,
+                                 base_results: Optional[
+                                     Sequence[MachineResult]] = None,
+                                 engine: str = DEFAULT_ENGINE
+                                 ) -> Tuple[AsipEvaluation, ...]:
+    """Evaluate *isa* on several input sets through one chain selection.
+
+    The multi-seed form of :func:`evaluate_on_sequential`: chains are
+    selected once (selection is input-independent) and every input set
+    is batched through the fused program, so an N-seed finalist pays one
+    module copy and one compile instead of N.  Element *i* of the result
+    is bit-identical to ``evaluate_on_sequential(seq_module, isa,
+    inputs_list[i], ..., base_result=base_results[i])``.
+    """
+    cost = cost_model or isa.cost_model or DEFAULT_COST_MODEL
+    if base_results is None:
+        base_results = run_module_batch(seq_module, inputs_list,
+                                        engine=engine)
+    if len(base_results) != len(inputs_list):
+        raise AsipError(
+            f"base results cover {len(base_results)} runs but the batch "
+            f"has {len(inputs_list)} input sets")
+    fused_module = seq_module.copy()
+    stats = select_chains(fused_module, isa)
+    fused_results = run_module_batch(fused_module, inputs_list,
+                                     engine=engine)
+    evaluations = []
+    for fused_result, base_result in zip(fused_results, base_results):
+        if fused_result.globals_after != base_result.globals_after \
+                or fused_result.return_value != base_result.return_value:
+            raise AsipError(
+                "chained execution diverged from the base processor — "
+                "instruction selection broke program semantics")
+        extra_cycles, chain_issues = _chain_accounting(
+            fused_module, fused_result, cost)
+        evaluations.append(AsipEvaluation(
+            base_cycles=base_result.cycles,
+            chained_cycles=fused_result.cycles + extra_cycles,
+            extension_area=isa.extension_area(),
+            selection=stats,
+            chain_issues=chain_issues,
+        ))
+    return tuple(evaluations)
+
+
+def merge_evaluations(evaluations: Sequence[AsipEvaluation]
+                      ) -> AsipEvaluation:
+    """Fold per-seed evaluations of one design point into one.
+
+    Cycle totals and dynamic chain-issue counts sum across seeds (so
+    ``speedup`` becomes the whole-workload ratio, weighting every seed
+    by its own run length); the selection statistics and extension area
+    are structural and identical for every seed, so the first seed's
+    are kept.  A single-element merge is the identity.
+    """
+    if not evaluations:
+        raise AsipError("cannot merge zero evaluations")
+    if len(evaluations) == 1:
+        return evaluations[0]
+    chain_issues: Dict[Tuple[str, ...], int] = {}
+    for evaluation in evaluations:
+        for pattern, count in evaluation.chain_issues.items():
+            chain_issues[pattern] = chain_issues.get(pattern, 0) + count
+    return AsipEvaluation(
+        base_cycles=sum(e.base_cycles for e in evaluations),
+        chained_cycles=sum(e.chained_cycles for e in evaluations),
+        extension_area=evaluations[0].extension_area,
+        selection=evaluations[0].selection,
         chain_issues=chain_issues,
     )
 

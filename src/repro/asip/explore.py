@@ -110,6 +110,75 @@ def _measure_finalist(task) -> Tuple[InstructionSet, AsipEvaluation]:
     return isa, evaluation
 
 
+# -- the estimate-then-measure stages, exposed for the suite-wide executor --------
+#
+# ``explore_designs`` composes these three pure helpers; the exploration
+# *study* (:mod:`repro.exec.explore`) runs the same helpers from
+# scheduler tasks, which is what makes its results bit-identical to the
+# per-benchmark loop.
+
+
+def candidate_pool(detection, cost: CostModel) -> List[Candidate]:
+    """Every sequence that could ever be worth hardware, budget-agnostic.
+
+    Applies only the budget-*independent* filters (a chain must save
+    cycles and actually execute); the area-vs-budget cut happens in
+    :func:`rank_candidates`, so one pool serves every budget of a study.
+    """
+    pool: List[Candidate] = []
+    for seq in detection.all_sequences():
+        freq = dynamic_frequency(seq.cycles_accounted, detection.total_ops)
+        saved = cost.cycles_saved_per_traversal(seq.name)
+        area = cost.chain_area(seq.name)
+        if saved <= 0 or freq <= 0.0:
+            continue
+        pool.append(Candidate(tuple(seq.name), freq, area, saved))
+    return pool
+
+
+def rank_candidates(pool: Sequence[Candidate], area_budget: int,
+                    max_candidates: int) -> List[Candidate]:
+    """The budget's candidate list: affordable, best-estimate-first."""
+    candidates = [c for c in pool if c.area <= area_budget]
+    candidates.sort(key=lambda c: (-c.estimate, c.pattern))
+    return candidates[:max_candidates]
+
+
+def select_finalists(candidates: Sequence[Candidate], area_budget: int,
+                     measure_top: int) -> List[Tuple[int, ...]]:
+    """The candidate-index subsets worth simulating, in canonical order.
+
+    Stage 1 of the paper loop: exhaustive enumeration under the additive
+    estimate (exact for the estimator on these small candidate lists),
+    keeping the ``measure_top`` best subsets plus the greedy
+    value-density pick.  Deterministic in its inputs; the returned order
+    is the order the measured design points appear in.
+    """
+    scored: List[Tuple[float, Tuple[int, ...]]] = []
+    indices = range(len(candidates))
+    for r in range(1, len(candidates) + 1):
+        for combo in itertools.combinations(indices, r):
+            area = sum(candidates[i].area for i in combo)
+            if area > area_budget:
+                continue
+            estimate = sum(candidates[i].estimate for i in combo)
+            scored.append((estimate, combo))
+    scored.sort(key=lambda item: (-item[0], item[1]))
+
+    greedy: List[int] = []
+    remaining = area_budget
+    for i in sorted(indices,
+                    key=lambda i: -candidates[i].estimate
+                    / max(1, candidates[i].area)):
+        if candidates[i].area <= remaining:
+            greedy.append(i)
+            remaining -= candidates[i].area
+    finalists = {tuple(sorted(greedy))} if greedy else set()
+    for _, combo in scored[:measure_top]:
+        finalists.add(combo)
+    return sorted(finalists)
+
+
 def explore_designs(module: Module,
                     inputs: Optional[dict] = None,
                     area_budget: int = 3000,
@@ -137,45 +206,15 @@ def explore_designs(module: Module,
     profile = run_module(graph_module, inputs, engine=engine).profile
     detection = detect_sequences(graph_module, profile, lengths)
 
-    candidates: List[Candidate] = []
-    for seq in detection.all_sequences():
-        freq = dynamic_frequency(seq.cycles_accounted, detection.total_ops)
-        saved = cost.cycles_saved_per_traversal(seq.name)
-        area = cost.chain_area(seq.name)
-        if saved <= 0 or area > area_budget or freq <= 0.0:
-            continue
-        candidates.append(Candidate(tuple(seq.name), freq, area, saved))
-    candidates.sort(key=lambda c: (-c.estimate, c.pattern))
-    candidates = candidates[:max_candidates]
-
+    candidates = rank_candidates(candidate_pool(detection, cost),
+                                 area_budget, max_candidates)
     result = ExplorationResult(candidates=candidates)
     if not candidates:
         return result
 
-    # Stage 1: additive-estimate enumeration under the budget.
-    scored: List[Tuple[float, Tuple[int, ...]]] = []
-    indices = range(len(candidates))
-    for r in range(1, len(candidates) + 1):
-        for combo in itertools.combinations(indices, r):
-            area = sum(candidates[i].area for i in combo)
-            if area > area_budget:
-                continue
-            estimate = sum(candidates[i].estimate for i in combo)
-            scored.append((estimate, combo))
-    scored.sort(key=lambda item: (-item[0], item[1]))
-
-    # Greedy value-density pick always gets measured too.
-    greedy: List[int] = []
-    remaining = area_budget
-    for i in sorted(indices,
-                    key=lambda i: -candidates[i].estimate
-                    / max(1, candidates[i].area)):
-        if candidates[i].area <= remaining:
-            greedy.append(i)
-            remaining -= candidates[i].area
-    finalists = {tuple(sorted(greedy))} if greedy else set()
-    for _, combo in scored[:measure_top]:
-        finalists.add(combo)
+    # Stage 1: additive-estimate enumeration under the budget, plus the
+    # greedy value-density pick.
+    combos = select_finalists(candidates, area_budget, measure_top)
 
     # Stage 2: measure each finalist on the simulator.  Every finalist
     # shares the same unchained base processor, so simulate it exactly once
@@ -184,7 +223,6 @@ def explore_designs(module: Module,
     # With jobs > 1 the finalists are measured on a process pool.
     sequential = resequence_module(graph_module)
     base_result = run_module(sequential, inputs, engine=engine)
-    combos = sorted(finalists)
     patterns = [tuple(candidates[idx].pattern for idx in combo)
                 for combo in combos]
     measured = parallel_map(

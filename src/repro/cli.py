@@ -8,6 +8,8 @@
     python -m repro figures all               # regenerate Figures 3-6
     python -m repro ilp                       # ILP characterization (X1)
     python -m repro explore sewha --budget N  # ASIP design space (X2)
+    python -m repro explore-study --budgets 1500,2500  # X2, whole suite
+    python -m repro cache show                # inspect the disk cache
     python -m repro analyze my_kernel.c       # analyze a user kernel
 
 ``analyze`` compiles any mini-C file, fills its uninitialized global
@@ -19,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import random
+import re
 import sys
 from typing import List, Optional
 
@@ -36,16 +39,81 @@ def _parse_levels(text: str) -> tuple:
 
 
 def _parse_seeds(text: str) -> tuple:
-    # Order is kept: the first seed is the primary result.  Empty and
-    # duplicate-bearing lists are rejected here, at the flag, instead of
-    # misbehaving (silent single-seed fallback / double-counted seeds)
-    # deep inside the study — one policy, shared with the API boundary.
+    # Order is kept: the first seed is the primary result.  Empty,
+    # malformed and duplicate-bearing lists are rejected here, at the
+    # flag, instead of misbehaving (silent single-seed fallback /
+    # double-counted seeds) deep inside the study — one policy, shared
+    # with the API boundary.
     from repro.suite.runner import validate_seeds
-    seeds = tuple(int(part) for part in text.split(",") if part.strip())
+    try:
+        seeds = tuple(int(part) for part in text.split(",")
+                      if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--seeds expects comma-separated integers "
+            f"(e.g. 0,1,2 or -1,3), got {text!r}")
     try:
         return validate_seeds(seeds, source="--seeds")
     except ReproError as exc:
         raise argparse.ArgumentTypeError(str(exc))
+
+
+# Any value token that *starts* like a negative number is joined onto
+# its flag — including malformed tails like "-1,x", which must reach
+# the flag's own parser to get its clear error instead of argparse's
+# generic "expected one argument".
+_NEGATIVE_VALUE = re.compile(r"-\d")
+
+#: Flags taking comma-separated integer lists whose first element may be
+#: negative (or negative-by-typo, which deserves the parser's message).
+_INT_LIST_FLAGS = ("--seeds", "--budgets")
+
+
+def _normalize_argv(argv: List[str]) -> List[str]:
+    """Make ``--seeds -1,3`` (and friends) reach their value parsers.
+
+    argparse treats any separate token starting with ``-`` as an option
+    flag, so a leading negative value was swallowed as "expected one
+    argument" before the validator ever saw it.  Joining the value onto
+    the flag (``--seeds=-1,3`` — which argparse always accepted) keeps
+    one parsing policy for every spelling; anything that merely *looks*
+    negative but is malformed still lands in the flag's parser and gets
+    its clear error message.
+    """
+    merged: List[str] = []
+    it = iter(argv)
+    for token in it:
+        if token in _INT_LIST_FLAGS:
+            value = next(it, None)
+            if value is None:
+                merged.append(token)
+            elif _NEGATIVE_VALUE.match(value):
+                merged.append(f"{token}={value}")
+            else:
+                merged.extend((token, value))
+        else:
+            merged.append(token)
+    return merged
+
+
+def _parse_budgets(text: str) -> tuple:
+    # Order is kept (it is the report order); duplicates collapse.
+    try:
+        budgets = tuple(dict.fromkeys(
+            int(part) for part in text.split(",") if part.strip()))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--budgets expects comma-separated integers "
+            f"(e.g. 1500,2500), got {text!r}")
+    if not budgets:
+        raise argparse.ArgumentTypeError(
+            "--budgets is empty: pass at least one area budget")
+    for budget in budgets:
+        if budget <= 0:
+            raise argparse.ArgumentTypeError(
+                f"--budgets contains {budget}: area budgets must be "
+                f"positive")
+    return budgets
 
 
 def _add_engine_arg(parser) -> None:
@@ -53,6 +121,13 @@ def _add_engine_arg(parser) -> None:
     parser.add_argument("--engine", choices=ENGINES, default=DEFAULT_ENGINE,
                         help="simulation engine (default: %(default)s; "
                              "'reference' is the tree-walking oracle)")
+
+
+def _add_cache_arg(parser) -> None:
+    parser.add_argument("--cache-dir", default=None,
+                        help="compile-artifact disk cache directory "
+                             "(default: $REPRO_CACHE or ~/.cache/repro; "
+                             "'none' disables)")
 
 
 def _add_jobs_arg(parser) -> None:
@@ -89,6 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arg(study)
     _add_jobs_arg(study)
     _add_seeds_arg(study)
+    _add_cache_arg(study)
 
     tables = sub.add_parser("tables", help="regenerate paper tables")
     tables.add_argument("which", choices=("1", "2", "3", "all"))
@@ -96,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arg(tables)
     _add_jobs_arg(tables)
     _add_seeds_arg(tables)
+    _add_cache_arg(tables)
 
     figures = sub.add_parser("figures", help="regenerate paper figures")
     figures.add_argument("which", choices=("3", "4", "5", "6", "all"))
@@ -103,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arg(figures)
     _add_jobs_arg(figures)
     _add_seeds_arg(figures)
+    _add_cache_arg(figures)
 
     sub.add_parser("ilp", help="ILP characterization of the suite (X1)")
 
@@ -113,6 +191,33 @@ def build_parser() -> argparse.ArgumentParser:
     explore.add_argument("--level", type=int, default=1)
     _add_engine_arg(explore)
     _add_jobs_arg(explore)
+    _add_cache_arg(explore)
+
+    explore_study = sub.add_parser(
+        "explore-study",
+        help="design-space exploration across the whole suite")
+    explore_study.add_argument("--benchmarks", default=None,
+                               help="comma-separated subset "
+                                    "(default: all 12)")
+    explore_study.add_argument("--budgets", default="2500",
+                               type=_parse_budgets,
+                               help="comma-separated area budgets "
+                                    "explored per benchmark "
+                                    "(default: %(default)s)")
+    explore_study.add_argument("--level", type=int, default=1)
+    explore_study.add_argument("--seed", type=int, default=0)
+    explore_study.add_argument("--json", default=None,
+                               help="also write the summary as JSON to "
+                                    "this file")
+    _add_engine_arg(explore_study)
+    _add_jobs_arg(explore_study)
+    _add_seeds_arg(explore_study)
+    _add_cache_arg(explore_study)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the compile-artifact disk cache")
+    cache.add_argument("action", choices=("show", "clear"))
+    _add_cache_arg(cache)
 
     report = sub.add_parser("report",
                             help="write a Markdown study report")
@@ -124,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_arg(report)
     _add_jobs_arg(report)
     _add_seeds_arg(report)
+    _add_cache_arg(report)
 
     analyze = sub.add_parser("analyze", help="analyze a mini-C file")
     analyze.add_argument("file")
@@ -134,6 +240,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--threshold", type=float, default=4.0,
                          help="coverage threshold percent")
     _add_engine_arg(analyze)
+    _add_cache_arg(analyze)
     return parser
 
 
@@ -222,6 +329,92 @@ def cmd_ilp(_args, out) -> int:
 
     study = run_study(StudyConfig())
     print(render_ilp_table(characterize_ilp(study)), file=out)
+    return 0
+
+
+def cmd_explore_study(args, out) -> int:
+    from repro.feedback.study import (ExplorationStudyConfig,
+                                      run_exploration_study)
+    from repro.sim.machine import DEFAULT_ENGINE
+
+    benchmarks = None
+    if args.benchmarks:
+        # Same whitespace policy as --seeds/--budgets: "sewha, dft"
+        # and trailing commas are fine.
+        benchmarks = tuple(part.strip()
+                           for part in args.benchmarks.split(",")
+                           if part.strip())
+        benchmarks = benchmarks or None
+    config = ExplorationStudyConfig(
+        benchmarks=benchmarks, budgets=args.budgets, level=args.level,
+        seed=args.seed, seeds=args.seeds,
+        engine=getattr(args, "engine", DEFAULT_ENGINE), jobs=args.jobs)
+    study = run_exploration_study(
+        config, progress=lambda name, stage:
+        print(f"  {name} @ {stage}", file=out))
+    print(file=out)
+    header = (f"{'benchmark':10s} {'budget':>7s} {'cand':>5s} "
+              f"{'meas':>5s} {'speedup':>8s} {'area':>6s}  best design")
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for row in study.summary_rows():
+        speedup = (f"{row['best_speedup']:.3f}x"
+                   if row["best_speedup"] else "-")
+        area = str(row["best_area"]) if row["best_area"] else "-"
+        chains = ", ".join(row["best_chains"]) or "(no viable design)"
+        print(f"{row['benchmark']:10s} {row['budget']:7d} "
+              f"{row['candidates']:5d} {row['measured']:5d} "
+              f"{speedup:>8s} {area:>6s}  {chains}", file=out)
+    if args.json:
+        import json
+        with open(args.json, "w") as fh:
+            json.dump({"config": {
+                "budgets": list(config.budgets), "level": config.level,
+                "seed": config.seed,
+                "seeds": list(config.seeds) if config.seeds else None,
+                "engine": config.engine},
+                "cells": study.summary_rows()}, fh, indent=2)
+            fh.write("\n")
+        print(f"\nsummary written to {args.json}", file=out)
+    return 0
+
+
+def cmd_cache(args, out) -> int:
+    from repro.sim import diskcache
+
+    root = diskcache.resolve_cache_root()
+    if root is None:
+        print("disk cache disabled "
+              f"({diskcache.CACHE_ENV_VAR}={diskcache.DISABLE_VALUE})",
+              file=out)
+        return 0
+    cache = diskcache.DiskCache(root)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {root}", file=out)
+        return 0
+    by_kind = {}
+    total_bytes = 0
+    for kind, path in cache.entries():
+        try:
+            size = path.stat().st_size
+        except OSError:
+            continue
+        count, kind_bytes = by_kind.get(kind, (0, 0))
+        by_kind[kind] = (count + 1, kind_bytes + size)
+        total_bytes += size
+    print(f"cache directory: {root}", file=out)
+    print(f"format version:  v{diskcache.FORMAT_VERSION}", file=out)
+    if not by_kind:
+        print("entries:         none", file=out)
+        return 0
+    for kind in sorted(by_kind):
+        count, kind_bytes = by_kind[kind]
+        print(f"  {kind:10s} {count:5d} entries, "
+              f"{kind_bytes / 1024:.1f} KiB", file=out)
+    print(f"  {'total':10s} {sum(c for c, _ in by_kind.values()):5d} "
+          f"entries, {total_bytes / 1024:.1f} KiB", file=out)
     return 0
 
 
@@ -322,6 +515,8 @@ _COMMANDS = {
     "figures": cmd_figures,
     "ilp": cmd_ilp,
     "explore": cmd_explore,
+    "explore-study": cmd_explore_study,
+    "cache": cmd_cache,
     "analyze": cmd_analyze,
     "report": cmd_report,
 }
@@ -329,7 +524,14 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
-    args = build_parser().parse_args(argv)
+    if argv is None:
+        argv = sys.argv[1:]
+    args = build_parser().parse_args(_normalize_argv(list(argv)))
+    if getattr(args, "cache_dir", None):
+        # Exported to the environment so pool workers spawned later use
+        # the same cache directory (or none).
+        from repro.sim.diskcache import set_cache_dir
+        set_cache_dir(args.cache_dir)
     try:
         return _COMMANDS[args.command](args, out)
     except ReproError as exc:

@@ -1,0 +1,246 @@
+"""The suite-wide exploration executor: benchmark × budget on the pool.
+
+:func:`repro.feedback.study.run_exploration_study` lands here.  The
+paper's exploration loop (:func:`repro.asip.explore.explore_designs`)
+is estimate-then-measure for *one* benchmark and *one* area budget;
+this module schedules the whole matrix as dependency tasks on the same
+persistent pool the study executor uses:
+
+* one **base task** per benchmark — optimize at the study level,
+  profile on the primary seed, detect sequences, build the
+  budget-agnostic candidate pool, re-sequentialize, and simulate the
+  unchained base processor on every seed.  This is the part every
+  budget of a benchmark shares, so it runs exactly once;
+* one **measurement task** per (benchmark, budget) cell — gated on the
+  benchmark's base task, whose result arrives as a bound argument the
+  moment it completes.  The cell re-derives its finalist subsets with
+  the same pure helpers the per-benchmark loop uses
+  (:func:`~repro.asip.explore.rank_candidates` /
+  :func:`~repro.asip.explore.select_finalists`) and measures each
+  finalist ISA against the shipped base-processor results;
+* multi-seed configurations **shard by seed** exactly like study cells
+  (:func:`repro.exec.study.shard_seeds`): each shard measures every
+  finalist on its contiguous seed slice against the matching slice of
+  the base results, and the parent reassembles per-seed evaluations in
+  seed order before folding them
+  (:func:`~repro.asip.evaluate.merge_evaluations`).
+
+Tasks carry the benchmark as their scheduler *affinity* and resolve
+the front-end/optimize/re-sequentialize derivations through the
+per-worker memo (:func:`repro.exec.pool.worker_cached`, bounded per
+operation by the epoch protocol), so a benchmark's base and its budget
+cells typically share one compile per worker.  Results are reassembled
+in canonical (benchmark, budget) order, never completion order — which
+is what makes ``jobs=N`` bit-identical to ``jobs=1`` and both identical
+to running ``explore_designs`` per benchmark, pinned by
+``tests/test_explore_study.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Optional, Sequence, Tuple
+
+from repro.asip.cost import DEFAULT_COST_MODEL
+from repro.asip.evaluate import (AsipEvaluation, evaluate_on_sequential,
+                                 evaluate_on_sequential_batch,
+                                 merge_evaluations)
+from repro.asip.explore import (DesignPoint, ExplorationResult, _isa_for,
+                                candidate_pool, rank_candidates,
+                                select_finalists)
+from repro.asip.resequence import resequence_module
+from repro.chaining.detect import detect_sequences
+from repro.exec.pool import next_epoch, sync_epoch, worker_cached
+from repro.exec.scheduler import Task, run_tasks
+from repro.exec.study import _optimized_cell, shard_seeds
+from repro.opt.pipeline import OptLevel
+from repro.sim.machine import run_module, run_module_batch
+from repro.suite.registry import get_benchmark
+
+def _sequential_module(name: str, level: int, unroll_factor: int):
+    """The benchmark's re-sequentialized optimized module, memoized per
+    process (the base-processor program every finalist is measured
+    against; shares the study executor's per-worker optimize memo)."""
+    def build():
+        graph_module, _report = _optimized_cell(name, level, unroll_factor)
+        return resequence_module(graph_module)
+    return worker_cached(("sequential", name, level, unroll_factor), build)
+
+
+def _explore_base(name: str, level: int, lengths: Tuple[int, ...],
+                  seed: int, seeds: Optional[Tuple[int, ...]],
+                  unroll_factor: int, engine: str,
+                  epoch: Optional[int] = None):
+    """Per-benchmark budget-independent stage (module-level: runs in
+    pool workers).
+
+    Returns ``(candidate pool, per-seed base-processor results)`` —
+    everything a budget cell cannot cheaply re-derive.  Profiling and
+    sequence detection use the primary seed, exactly like the study
+    matrix and the per-benchmark loop.
+    """
+    sync_epoch(epoch)
+    spec = get_benchmark(name)
+    graph_module, _report = _optimized_cell(name, level, unroll_factor)
+    primary = seeds[0] if seeds else seed
+    inputs = spec.generate_inputs(primary)
+    profile = run_module(graph_module, inputs, engine=engine).profile
+    detection = detect_sequences(graph_module, profile, lengths)
+    pool = candidate_pool(detection, DEFAULT_COST_MODEL)
+    sequential = _sequential_module(name, level, unroll_factor)
+    if seeds:
+        base_results = tuple(run_module_batch(
+            sequential, [spec.generate_inputs(s) for s in seeds],
+            engine=engine))
+    else:
+        base_results = (run_module(sequential, inputs, engine=engine),)
+    return pool, base_results
+
+
+def _measure_cell(name: str, level: int, budget: int,
+                  shard: Optional[Tuple[int, ...]], seed: int,
+                  unroll_factor: int, engine: str, max_candidates: int,
+                  measure_top: int, epoch: Optional[int] = None,
+                  base=None) -> Tuple:
+    """Measure every finalist of one (benchmark, budget) cell on this
+    task's seed slice (module-level: runs in pool workers).
+
+    ``base`` is bound by the scheduler: the benchmark's candidate pool
+    plus the base-processor results for exactly this shard's seeds.
+    Returns one ``(isa, per-seed evaluations)`` pair per finalist, in
+    the canonical finalist order.
+    """
+    sync_epoch(epoch)
+    pool, base_results = base
+    candidates = rank_candidates(pool, budget, max_candidates)
+    if not candidates:
+        return ()
+    combos = select_finalists(candidates, budget, measure_top)
+    sequential = _sequential_module(name, level, unroll_factor)
+    spec = get_benchmark(name)
+    cost = DEFAULT_COST_MODEL
+    # Input sets are combo-invariant: generate them once per cell, not
+    # once per finalist (the serial loop shares one inputs dict too).
+    if shard is None:
+        inputs = spec.generate_inputs(seed)
+    else:
+        inputs_list = [spec.generate_inputs(s) for s in shard]
+    measured = []
+    for combo in combos:
+        patterns = tuple(candidates[i].pattern for i in combo)
+        isa = _isa_for(patterns, cost)
+        if shard is None:
+            evals: Tuple[AsipEvaluation, ...] = (evaluate_on_sequential(
+                sequential, isa, inputs, cost,
+                base_result=base_results[0], engine=engine),)
+        else:
+            evals = evaluate_on_sequential_batch(
+                sequential, isa, inputs_list, cost,
+                base_results=base_results, engine=engine)
+        measured.append((isa, evals))
+    return tuple(measured)
+
+
+def _shard_bounds(shards: List[Optional[Tuple[int, ...]]]
+                  ) -> List[Tuple[int, Optional[int]]]:
+    """Per-shard ``(lo, hi)`` slice of the base-results tuple."""
+    if shards == [None]:
+        return [(0, None)]  # single seed or unsharded batch: everything
+    bounds: List[Tuple[int, Optional[int]]] = []
+    at = 0
+    for shard in shards:
+        bounds.append((at, at + len(shard)))
+        at += len(shard)
+    return bounds
+
+
+def build_exploration_schedule(config, names: Sequence[str], jobs: int = 1,
+                               epoch: Optional[int] = None) -> List[Task]:
+    """The task DAG for one exploration study (importable for tests).
+
+    Every benchmark contributes one base task plus one measurement task
+    per (budget, seed shard); measurement tasks depend on their
+    benchmark's base.  ``jobs`` only informs seed sharding — the
+    schedule is valid on any worker count.
+    """
+    names = list(dict.fromkeys(names))
+    budgets = list(dict.fromkeys(config.budgets))
+    shards = shard_seeds(config.seeds, jobs)
+    bounds = _shard_bounds(shards)
+    level = int(OptLevel(config.level))
+    tasks: List[Task] = []
+    for name in names:
+        base_key: Hashable = ("base", name)
+        tasks.append(Task(
+            key=base_key, fn=_explore_base,
+            args=(name, level, config.lengths, config.seed, config.seeds,
+                  config.unroll_factor, config.engine, epoch),
+            affinity=name))
+        for budget in budgets:
+            for j, shard in enumerate(shards):
+                def bind(args, results, _dep=base_key, _b=bounds[j]):
+                    pool, base_results = results[_dep]
+                    lo, hi = _b
+                    sliced = base_results[lo:] if hi is None \
+                        else base_results[lo:hi]
+                    return args + ((pool, sliced),)
+                tasks.append(Task(
+                    key=("fin", name, budget, j), fn=_measure_cell,
+                    args=(name, level, budget, shard, config.seed,
+                          config.unroll_factor, config.engine,
+                          config.max_candidates, config.measure_top,
+                          epoch),
+                    deps=(base_key,), bind=bind, affinity=name))
+    return tasks
+
+
+def execute_exploration_study(config, jobs: int,
+                              progress: Optional[
+                                  Callable[[str, str], None]] = None):
+    """Run the benchmark × budget matrix on *jobs* workers; see
+    :func:`repro.feedback.study.run_exploration_study` for the public
+    entry point (and :data:`repro.feedback.study.ExploreProgressFn` for
+    the progress-callback contract)."""
+    from repro.feedback.study import ExplorationStudyResult
+    from repro.suite.registry import all_benchmarks
+
+    names = (list(dict.fromkeys(config.benchmarks))
+             if config.benchmarks is not None
+             else [spec.name for spec in all_benchmarks()])
+    for name in names:  # fail on unknown names before any worker spawns
+        get_benchmark(name)
+    budgets = list(dict.fromkeys(config.budgets))
+
+    on_start = None
+    if progress is not None:
+        def on_start(key):
+            if key[0] == "base":
+                progress(key[1], "base")
+            elif key[3] == 0:  # extra shards are internal to their cell
+                progress(key[1], f"budget {key[2]}")
+
+    shards = shard_seeds(config.seeds, jobs)
+    cells = run_tasks(
+        build_exploration_schedule(config, names, jobs=jobs,
+                                   epoch=next_epoch()),
+        jobs=jobs, on_start=on_start)
+
+    result = ExplorationStudyResult(config=config)
+    for name in names:
+        pool, _base_results = cells[("base", name)]
+        for budget in budgets:
+            candidates = rank_candidates(pool, budget,
+                                         config.max_candidates)
+            exploration = ExplorationResult(candidates=candidates)
+            if candidates:
+                shard_cells = [cells[("fin", name, budget, j)]
+                               for j in range(len(shards))]
+                for i, (isa, first_evals) in enumerate(shard_cells[0]):
+                    evals = list(first_evals)
+                    for cell in shard_cells[1:]:
+                        evals.extend(cell[i][1])
+                    evaluation = merge_evaluations(tuple(evals)) \
+                        if config.seeds else evals[0]
+                    exploration.measured.append(
+                        DesignPoint(isa=isa, evaluation=evaluation))
+            result.explorations[(name, budget)] = exploration
+    return result

@@ -118,6 +118,39 @@ def clear_worker_cache() -> None:
     _worker_cache.clear()
 
 
+# Epoch plumbing: every executor-level operation (a study, an exploration
+# study) runs under one *epoch* — a counter the parent bumps per
+# operation and ships inside each task's arguments.  A process seeing a
+# new epoch drops its memo first, so within one operation every cell
+# still shares compiles, while long-lived pool workers never accumulate
+# derivations across operations (a pool that served the whole suite used
+# to keep every benchmark's front end alive forever).
+
+_worker_epoch: Optional[int] = None
+_epoch_counter = 0
+
+
+def next_epoch() -> int:
+    """A fresh epoch token (parent-side, one per executor operation)."""
+    global _epoch_counter
+    _epoch_counter += 1
+    return _epoch_counter
+
+
+def sync_epoch(epoch: Optional[int]) -> None:
+    """Align this process's memo with *epoch* (worker-side, per task).
+
+    The first task of a new epoch to reach a process clears that
+    process's memo; same-epoch tasks are no-ops.  Runs identically in
+    pool workers and in the parent (the serial scheduler path), so
+    memo growth is bounded the same way on every execution shape.
+    """
+    global _worker_epoch
+    if epoch is not None and epoch != _worker_epoch:
+        _worker_cache.clear()
+        _worker_epoch = epoch
+
+
 # -- the persistent pool -----------------------------------------------------------
 
 _pool: Optional[ProcessPoolExecutor] = None
@@ -135,7 +168,14 @@ def get_pool(workers: int) -> ProcessPoolExecutor:
     global _pool, _pool_workers
     if _pool is None or _pool_workers != workers:
         if _pool is not None:
+            # Forget the old pool *before* constructing the replacement:
+            # if ProcessPoolExecutor raises (bad worker count, resource
+            # exhaustion), a stale (_pool, _pool_workers) pair would hand
+            # the already-shut-down executor back to the next caller that
+            # asks for the old count.
             _pool.shutdown()
+            _pool = None
+            _pool_workers = 0
         _pool = ProcessPoolExecutor(max_workers=workers)
         _pool_workers = workers
     return _pool

@@ -43,7 +43,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.ir.module import Module
 from repro.opt.pipeline import OptLevel, optimize_module
-from repro.exec.pool import worker_cached
+from repro.exec.pool import next_epoch, sync_epoch, worker_cached
 from repro.exec.scheduler import Task, run_tasks
 from repro.sim.machine import MachineResult, run_module_batch
 from repro.suite.registry import get_benchmark
@@ -85,9 +85,10 @@ def _optimized_cell(name: str, level: int, unroll_factor: int):
 
 def _run_cell(name: str, level: int, lengths: Tuple[int, ...], seed: int,
               seeds: Optional[Tuple[int, ...]], unroll_factor: int,
-              engine: str,
+              engine: str, epoch: Optional[int] = None,
               reference: Optional[Sequence] = None) -> BenchmarkRun:
     """One (benchmark, level) cell; module-level so workers can import it."""
+    sync_epoch(epoch)
     return run_benchmark(
         get_benchmark(name), OptLevel(level),
         lengths=lengths, seed=seed, seeds=seeds,
@@ -98,6 +99,7 @@ def _run_cell(name: str, level: int, lengths: Tuple[int, ...], seed: int,
 
 def _run_seed_shard(name: str, level: int, seeds: Tuple[int, ...],
                     unroll_factor: int, engine: str,
+                    epoch: Optional[int] = None,
                     reference: Optional[Sequence] = None
                     ) -> Tuple[MachineResult, ...]:
     """One seed shard of a cell: simulate (and verify) *seeds* only.
@@ -107,6 +109,7 @@ def _run_seed_shard(name: str, level: int, seeds: Tuple[int, ...],
     the optimized graph and the per-seed machine results, verified
     against the level-0 results for the same seeds.
     """
+    sync_epoch(epoch)
     spec = get_benchmark(name)
     graph_module, _report = _optimized_cell(name, level, unroll_factor)
     results = run_module_batch(
@@ -147,8 +150,8 @@ def shard_seeds(seeds: Optional[Tuple[int, ...]],
     return shards
 
 
-def build_schedule(config, names: Sequence[str],
-                   jobs: int = 1) -> List[Task]:
+def build_schedule(config, names: Sequence[str], jobs: int = 1,
+                   epoch: Optional[int] = None) -> List[Task]:
     """The task DAG for one study (importable for tests and benchmarks).
 
     Duplicate names/levels are collapsed: the serial loop re-runs such
@@ -156,6 +159,8 @@ def build_schedule(config, names: Sequence[str],
     deterministic, so running each distinct cell once yields the
     identical result without duplicate task keys.  ``jobs`` only informs
     seed sharding — the returned schedule is valid on any worker count.
+    ``epoch`` (see :func:`repro.exec.pool.sync_epoch`) bounds the
+    per-worker memo to this study's derivations.
     """
     names = list(dict.fromkeys(names))
     levels = sorted(set(config.levels))
@@ -175,7 +180,8 @@ def build_schedule(config, names: Sequence[str],
             tasks.append(Task(
                 key=(name, level), fn=_run_cell,
                 args=(name, level, config.lengths, config.seed,
-                      shards[0], config.unroll_factor, config.engine),
+                      shards[0], config.unroll_factor, config.engine,
+                      epoch),
                 deps=deps, bind=bind, affinity=name))
             for j, shard in enumerate(shards[1:], start=1):
                 sdeps: Tuple[Hashable, ...] = ()
@@ -188,7 +194,7 @@ def build_schedule(config, names: Sequence[str],
                 tasks.append(Task(
                     key=(name, level, j), fn=_run_seed_shard,
                     args=(name, level, shard, config.unroll_factor,
-                          config.engine),
+                          config.engine, epoch),
                     deps=sdeps, bind=sbind, affinity=name))
     return tasks
 
@@ -225,8 +231,11 @@ def execute_study(config, jobs: int, progress=None):
             if len(key) == 2:  # shard tasks are internal to their cell
                 progress(key[0], key[1])
     shards = shard_seeds(config.seeds, jobs)
-    cells: Dict = run_tasks(build_schedule(config, names, jobs=jobs),
-                            jobs=jobs, on_start=on_start)
+    # One epoch per study: cells of this study share per-worker compiles,
+    # workers kept warm from *earlier* studies drop theirs first.
+    cells: Dict = run_tasks(
+        build_schedule(config, names, jobs=jobs, epoch=next_epoch()),
+        jobs=jobs, on_start=on_start)
 
     result = StudyResult(config=config)
     for name in names:

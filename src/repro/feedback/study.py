@@ -4,6 +4,14 @@ A *study* is: for each selected benchmark, run optimization levels 0/1/2,
 profile each on the Table-1 inputs, verify levels 1/2 against level 0's
 outputs (semantic preservation oracle), run sequence detection at lengths
 2–5, and keep everything for the reporting layer.
+
+An *exploration study* (:func:`run_exploration_study`) is the design-
+space counterpart: the full benchmark × area-budget matrix of the
+paper's estimate-then-measure ASIP loop, executed by
+:mod:`repro.exec.explore` on the same persistent pool (per-benchmark
+base simulation first, then that benchmark's budget cells fan out), with
+``jobs=N`` bit-identical to ``jobs=1`` and to per-benchmark
+:func:`~repro.asip.explore.explore_designs` calls.
 """
 
 from __future__ import annotations
@@ -93,6 +101,76 @@ class StudyResult:
             threshold=threshold, max_sequences=max_sequences)
 
 
+@dataclass(frozen=True)
+class ExplorationStudyConfig:
+    """Knobs of one suite-wide design-space exploration."""
+
+    benchmarks: Optional[Tuple[str, ...]] = None  # None = whole suite
+    #: Area budgets explored per benchmark (duplicates collapsed).
+    budgets: Tuple[int, ...] = (2500,)
+    #: Optimization level the exploration compiles at.
+    level: int = 1
+    #: Sequence lengths considered for chaining.
+    lengths: Tuple[int, ...] = (2, 3)
+    seed: int = 0
+    #: Input seeds every design point is measured on; ``None`` keeps the
+    #: single-seed behavior (``seed``).  The first entry is primary
+    #: (it feeds profiling and sequence detection); measured speedups
+    #: aggregate cycle totals over all seeds.  Large seed lists shard
+    #: across workers like study cells.
+    seeds: Optional[Tuple[int, ...]] = None
+    unroll_factor: int = 2
+    max_candidates: int = 8
+    measure_top: int = 4
+    engine: str = DEFAULT_ENGINE
+    #: Worker processes for the benchmark×budget matrix (``None`` defers
+    #: to ``$REPRO_JOBS``, ``0`` = all cores; any value bit-identical).
+    jobs: Optional[int] = None
+
+
+@dataclass
+class ExplorationStudyResult:
+    """Every (benchmark, budget) exploration of one study."""
+
+    config: ExplorationStudyConfig
+    #: ``(benchmark name, area budget) -> ExplorationResult``.
+    explorations: Dict[Tuple[str, int], "ExplorationResult"] = \
+        field(default_factory=dict)
+
+    def exploration(self, name: str, budget: int) -> "ExplorationResult":
+        try:
+            return self.explorations[(name, int(budget))]
+        except KeyError:
+            raise ReproError(
+                f"exploration study has no cell ({name!r}, {budget})")
+
+    def names(self) -> List[str]:
+        return list(dict.fromkeys(name for name, _ in self.explorations))
+
+    def budgets(self) -> List[int]:
+        return list(dict.fromkeys(b for _, b in self.explorations))
+
+    def best(self, name: str, budget: int):
+        """The measured winner of one cell (``None`` if nothing viable)."""
+        return self.exploration(name, budget).best
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One flat record per cell (CLI table / JSON export)."""
+        rows: List[Dict[str, object]] = []
+        for (name, budget), exploration in self.explorations.items():
+            best = exploration.best
+            rows.append({
+                "benchmark": name,
+                "budget": budget,
+                "candidates": len(exploration.candidates),
+                "measured": len(exploration.measured),
+                "best_speedup": best.speedup if best else None,
+                "best_area": best.area if best else None,
+                "best_chains": best.labels() if best else [],
+            })
+        return rows
+
+
 ProgressFn = Callable[[str, int], None]
 
 
@@ -145,3 +223,51 @@ def run_study(config: StudyConfig = StudyConfig(),
             study.runs[OptLevel(level)] = run
         result.benchmarks[name] = study
     return result
+
+
+#: ``progress(benchmark, stage)`` for exploration studies; stage is
+#: ``"base"`` or ``"budget N"``.
+ExploreProgressFn = Callable[[str, str], None]
+
+
+def run_exploration_study(
+        config: ExplorationStudyConfig = ExplorationStudyConfig(),
+        progress: Optional[ExploreProgressFn] = None
+) -> ExplorationStudyResult:
+    """Execute the suite-wide design-space exploration.
+
+    Every (benchmark, budget) cell produces exactly the
+    :class:`~repro.asip.explore.ExplorationResult` a standalone
+    ``explore_designs(module, inputs, area_budget=budget, ...)`` call
+    would (multi-seed configurations aggregate each design point's
+    cycles over all seeds), but the matrix runs as dependency tasks on
+    the persistent worker pool: each benchmark's base-processor
+    simulation gates its budget cells, different benchmarks proceed
+    independently, and large seed lists shard across workers.  Results
+    are bit-identical for any ``jobs`` value.
+    """
+    from repro.exec.explore import execute_exploration_study
+    from repro.exec.pool import resolve_jobs
+    from repro.sim.machine import ensure_engine
+    from repro.suite.runner import validate_seeds
+    # Misconfiguration surfaces here, before any compile or worker
+    # spawn, attributed to the knob it came from.
+    ensure_engine(config.engine)
+    validate_seeds(config.seeds, source="ExplorationStudyConfig.seeds")
+    if not config.budgets:
+        raise ReproError(
+            "ExplorationStudyConfig.budgets is empty: pass at least one "
+            "area budget (e.g. budgets=(2500,))")
+    for budget in config.budgets:
+        if budget <= 0:
+            raise ReproError(
+                f"ExplorationStudyConfig.budgets contains {budget}: area "
+                f"budgets must be positive")
+    try:
+        OptLevel(config.level)
+    except ValueError:
+        raise ReproError(
+            f"ExplorationStudyConfig.level={config.level!r} is not an "
+            f"optimization level (expected 0, 1 or 2)")
+    jobs = resolve_jobs(config.jobs)
+    return execute_exploration_study(config, jobs=jobs, progress=progress)

@@ -27,6 +27,12 @@ Key properties:
 
 ``run_batch`` drives N input sets (the multi-seed study cells) through
 one lowered program, paying lowering and cache validation once.
+
+The lowered words are also persisted by the disk tier
+(:mod:`repro.sim.diskcache`, keyed by the module's structural digest):
+a cold process — a fresh pool worker, a new CLI invocation — whose
+module was ever lowered before loads the words instead of re-running
+the lowering walk, with bit-identical execution either way.
 """
 
 from __future__ import annotations

@@ -536,32 +536,85 @@ class GeneratedModule:
     """
 
     def __init__(self, module: GraphModule):
-        self.module = module
-        self.lowered: LoweredModule = lower_module(module)
-        self.fns: Dict[str, object] = {}
+        lowered = lower_module(module)
         fn_of_graph = {name: f"_f{i}"
-                       for i, name in enumerate(self.lowered.graphs)}
+                       for i, name in enumerate(lowered.graphs)}
+        consts: Dict[str, object] = {}
+        pieces: List[str] = []
+        for name, lg in lowered.graphs.items():
+            emitter = _FunctionEmitter(lg, fn_of_graph[name], fn_of_graph)
+            pieces.append(emitter.build())
+            for i, obj in enumerate(emitter.objs):
+                consts[f"_{fn_of_graph[name]}_K{i}"] = obj
+        source = "\n".join(pieces)
+        code = compile(source, f"<repro-codegen:{module.name}>", "exec")
+        self._assemble(module, lowered, source, consts, code)
+
+    def _assemble(self, module: GraphModule, lowered: LoweredModule,
+                  source: str, consts: Dict[str, object], code) -> None:
+        """Exec *code* and wire the per-graph functions — the part both
+        fresh generation and a disk-cache load perform identically."""
+        self.module = module
+        self.lowered = lowered
+        self.source = source
+        self.consts = consts
+        self._code = code
+        self.fns: Dict[str, object] = {}
         namespace: Dict[str, object] = {
             "_UNDEF": _UNDEF,
             "ArrayStorage": ArrayStorage,
             "SimulationError": SimulationError,
             "G": {},
         }
-        pieces: List[str] = []
-        for name, lg in self.lowered.graphs.items():
-            emitter = _FunctionEmitter(lg, fn_of_graph[name], fn_of_graph)
-            pieces.append(emitter.build())
-            for i, obj in enumerate(emitter.objs):
-                namespace[f"_{fn_of_graph[name]}_K{i}"] = obj
-        self.source = "\n".join(pieces)
-        exec(compile(self.source,
-                     f"<repro-codegen:{module.name}>", "exec"), namespace)
+        namespace.update(consts)
+        exec(code, namespace)
         dispatch: Dict[str, object] = namespace["G"]  # type: ignore
-        for name, fn_name in fn_of_graph.items():
-            fn = namespace[fn_name]
-            dispatch[fn_name] = fn
+        for i, name in enumerate(lowered.graphs):
+            fn = namespace[f"_f{i}"]
+            dispatch[f"_f{i}"] = fn
             self.fns[name] = fn
-        self._signature = self.lowered._signature
+        self._signature = lowered._signature
+
+    def disk_payload(self) -> Dict[str, object]:
+        """The disk-cache entry: lowered graphs (the run frame and the
+        profile-reconstruction tables need them), the emitted source,
+        its non-literal constants, and the marshalled code object so a
+        warm load skips parsing and compiling the source too.  The
+        marshal blob travels with its own checksum: ``marshal.loads``
+        is documented as unsafe on erroneous bytes (it may crash rather
+        than raise), so a load must be able to reject a damaged blob
+        *before* handing it to marshal."""
+        import hashlib
+        import marshal
+        blob = marshal.dumps(self._code)
+        return {"graphs": self.lowered.graphs, "source": self.source,
+                "consts": self.consts, "code": blob,
+                "code_sha": hashlib.sha256(blob).hexdigest()}
+
+    @classmethod
+    def from_payload(cls, module: GraphModule,
+                     payload: Dict[str, object]) -> "GeneratedModule":
+        """Rebuild from a disk-cache entry, skipping lowering and source
+        emission (and, when the marshalled code verifies and loads,
+        compilation — a blob whose checksum does not match falls back
+        to compiling the stored source)."""
+        import hashlib
+        import marshal
+        lowered = LoweredModule.from_graphs(module, payload["graphs"])
+        source = payload["source"]
+        code = None
+        blob = payload.get("code")
+        if isinstance(blob, bytes) and \
+                hashlib.sha256(blob).hexdigest() == payload.get("code_sha"):
+            try:
+                code = marshal.loads(blob)
+            except Exception:
+                code = None
+        if code is None:
+            code = compile(source, f"<repro-codegen:{module.name}>", "exec")
+        self = cls.__new__(cls)
+        self._assemble(module, lowered, source, payload["consts"], code)
+        return self
 
 
 def generate_module(module: GraphModule) -> GeneratedModule:
@@ -571,11 +624,41 @@ def generate_module(module: GraphModule) -> GeneratedModule:
     :func:`~repro.sim.engine.lower_module`: validated by streaming the
     memoized structural signature, invalidated by any graph mutation,
     stripped at pickle boundaries and regenerated lazily per process.
+
+    On an in-memory miss the disk tier (:mod:`repro.sim.diskcache`) is
+    consulted under the module's structural digest: a hit skips the
+    lowering walk, the source emission and (via the marshalled code
+    object) the compile, leaving only the ``exec`` of the pre-built
+    code.  The embedded lowered form also seeds ``_lowered_cache``, so
+    the codegen and bytecode tiers keep agreeing on one lowering per
+    module state.
     """
     cached = module.__dict__.get("_codegen_cache")
     if cached is not None and _signature_matches(module, cached._signature):
         return cached
+    from repro.sim.diskcache import get_cache, module_digest
+    cache = get_cache()
+    digest = module_digest(module) if cache is not None else None
+    if digest is not None:
+        payload = cache.load("codegen", digest)
+        if payload is not None:
+            try:
+                generated = GeneratedModule.from_payload(module, payload)
+            except Exception:
+                cache.unusable("codegen")
+                generated = None
+            if generated is not None:
+                module._codegen_cache = generated
+                module._lowered_cache = generated.lowered
+                return generated
+    if digest is not None:
+        # Resolve the lowered form under the already-computed digest so
+        # GeneratedModule's internal lower_module call is an in-memory
+        # hit rather than a second digest walk.
+        lower_module(module, _digest=digest)
     generated = GeneratedModule(module)
+    if digest is not None:
+        cache.store("codegen", digest, generated.disk_payload())
     module._codegen_cache = generated
     return generated
 

@@ -1,0 +1,364 @@
+"""The on-disk compile-artifact cache (the cold-start tier).
+
+The in-memory caches (`compile_module` / `lower_module` /
+`generate_module`) make *repeated* runs of one module cheap, but they
+die with the process: every fresh CLI invocation and every pool worker
+re-lowers and re-generates from scratch.  This module adds the tier
+below them — a small content-addressed store on disk holding the
+bytecode tier's lowered words and the codegen tier's generated source,
+so a cold process whose module was ever compiled before skips the
+lowering walk and the source emission entirely.
+
+Keying.  Entries are addressed by :func:`module_digest`, a SHA-256 over
+a canonical serialization of everything the lowered form depends on —
+graph names, entry nodes, parameters, local arrays, node ids, successor
+lists, and every instruction's opcode and operands — deliberately
+*excluding* process-local instruction uids, so two processes compiling
+the same source reach the same key.  The engine kind ("bytecode" /
+"codegen"), the cache :data:`FORMAT_VERSION` and the interpreter's
+``cache_tag`` (the codegen entry embeds a marshalled code object, which
+is CPython-version-specific) all partition the namespace: any mismatch
+is a plain miss, never a crash.
+
+Robustness rules, pinned by ``tests/test_diskcache.py``:
+
+* **corruption-tolerant reads** — a truncated, garbled or
+  wrong-versioned entry is ignored (counted, then rewritten by the
+  normal store path); no cache state can make a run fail;
+* **atomic writes** — entries are written to a unique temporary file
+  and published with :func:`os.replace`, so two pool workers racing on
+  one key both leave a complete entry behind;
+* **strictly optional** — ``REPRO_CACHE=none`` (or ``--cache-dir
+  none``) disables the tier; results are bit-identical either way,
+  only cold-start wall time changes.
+
+Location resolution: ``--cache-dir`` (exported to ``REPRO_CACHE`` so
+pool workers inherit it) > ``REPRO_CACHE`` > ``~/.cache/repro`` (under
+``XDG_CACHE_HOME`` when set).  ``python -m repro cache show|clear``
+inspects and empties the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import sys
+import tempfile
+from collections import Counter
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple
+
+from repro.ir.values import ArraySymbol, Constant, VirtualReg
+
+#: Environment variable naming the cache directory (``none`` disables).
+CACHE_ENV_VAR = "REPRO_CACHE"
+
+#: The value of :data:`CACHE_ENV_VAR` (or ``--cache-dir``) that disables
+#: the disk tier entirely.
+DISABLE_VALUE = "none"
+
+#: Bumped whenever the entry payload layout changes; older entries
+#: become plain misses.
+FORMAT_VERSION = 1
+
+#: Marshalled code objects are interpreter-specific; the tag partitions
+#: entries per CPython version (e.g. ``cpython-311``).
+_CACHE_TAG = getattr(sys.implementation, "cache_tag", None) or \
+    "py%d%d" % sys.version_info[:2]
+
+_source_token_cache: Optional[str] = None
+
+
+def _source_token() -> str:
+    """A short hash over the compiler sources entries depend on.
+
+    Lowered words embed raw opcode numbers (assigned by a counter in
+    ``engine.py``) and the codegen entry embeds generated source — both
+    are artifacts of the *current* compiler code, not just the module
+    structure.  Folding a digest of the engine/bytecode/codegen sources
+    into the entry namespace turns any edit to them (an inserted
+    opcode, a changed emitter) into plain misses, instead of relying on
+    a hand-maintained :data:`FORMAT_VERSION` bump to avoid silently
+    executing stale entries.
+    """
+    global _source_token_cache
+    if _source_token_cache is None:
+        h = hashlib.sha256()
+        try:
+            from repro.sim import bytecode, codegen, engine
+            for mod in (engine, bytecode, codegen):
+                with open(mod.__file__, "rb") as fh:
+                    h.update(fh.read())
+            _source_token_cache = h.hexdigest()[:12]
+        except Exception:  # pragma: no cover - source not readable
+            _source_token_cache = "src"
+    return _source_token_cache
+
+
+def default_cache_root() -> Path:
+    """``$XDG_CACHE_HOME/repro`` or ``~/.cache/repro``."""
+    base = os.environ.get("XDG_CACHE_HOME")
+    if base:
+        return Path(base).expanduser() / "repro"
+    return Path.home() / ".cache" / "repro"
+
+
+def resolve_cache_root() -> Optional[Path]:
+    """The directory the disk tier should use, or ``None`` when disabled.
+
+    Consulted on every :func:`get_cache` call, so tests (and the CLI's
+    ``--cache-dir``, which writes :data:`CACHE_ENV_VAR` so pool workers
+    inherit the choice) can repoint or disable the tier at any time.
+    """
+    raw = os.environ.get(CACHE_ENV_VAR)
+    if raw is None:
+        return default_cache_root()
+    raw = raw.strip()
+    if not raw or raw.lower() == DISABLE_VALUE:
+        return None
+    return Path(raw).expanduser()
+
+
+def set_cache_dir(value: Optional[str]) -> None:
+    """Point the disk tier at *value* (``'none'``/``None`` disables).
+
+    Writes :data:`CACHE_ENV_VAR` rather than process-local state so
+    worker processes spawned later inherit the same setting.
+    """
+    os.environ[CACHE_ENV_VAR] = DISABLE_VALUE if value is None \
+        else str(value)
+
+
+# -- the structural digest ---------------------------------------------------------
+
+
+def _feed_operand(parts: List[str], operand) -> None:
+    if isinstance(operand, VirtualReg):
+        parts.append(f"R{operand.is_float:d}:{operand.name}")
+    elif isinstance(operand, Constant):
+        parts.append(f"C{operand.is_float:d}:{operand.value!r}")
+    elif isinstance(operand, ArraySymbol):
+        parts.append(f"A{operand.is_float:d}{operand.is_global:d}:"
+                     f"{operand.name}:{operand.size}")
+    elif operand is None:
+        parts.append("_")
+    else:  # unreadable operands lower to error words carrying repr()
+        parts.append(f"O:{operand!r}")
+
+
+def _feed_instruction(parts: List[str], ins) -> None:
+    parts.append(f"I:{ins.op.name}")
+    _feed_operand(parts, ins.dest)
+    parts.append(str(len(ins.srcs)))
+    for src in ins.srcs:
+        _feed_operand(parts, src)
+    _feed_operand(parts, ins.array)
+    parts.append(repr(ins.callee))
+    chain = getattr(ins, "parts", None)
+    if chain is not None:
+        parts.append(f"chain:{len(chain)}")
+        for part in chain:
+            _feed_instruction(parts, part)
+
+
+def module_digest(module) -> str:
+    """Content hash of everything the lowered/generated forms depend on.
+
+    Uid-invariant and process-invariant: the same mini-C source compiled
+    in two different processes (or the same process twice) digests
+    identically, while any structural difference — an extra node, a
+    rewritten operand, a different successor order — changes the key.
+    Mirrors the coverage of the in-memory structural signature
+    (:func:`repro.sim.engine._iter_signature`) with instruction
+    *identity* replaced by instruction *content*.
+    """
+    parts: List[str] = ["G:" + ",".join(sorted(module.global_arrays))]
+    for name, graph in module.graphs.items():
+        parts.append(f"F:{name}:{graph.entry!r}")
+        parts.append(f"P:{len(graph.params)}")
+        for param in graph.params:
+            _feed_operand(parts, param)
+        parts.append(f"L:{len(graph.local_arrays)}")
+        for symbol in graph.local_arrays:
+            _feed_operand(parts, symbol)
+        for nid, node in graph.nodes.items():
+            parts.append(f"N:{nid}:{','.join(map(str, node.succs))}")
+            for ins in node.ops:
+                _feed_instruction(parts, ins)
+            parts.append("ctl")
+            if node.control is not None:
+                _feed_instruction(parts, node.control)
+    h = hashlib.sha256()
+    h.update("\x00".join(parts).encode("utf-8", "backslashreplace"))
+    return h.hexdigest()
+
+
+# -- the store ---------------------------------------------------------------------
+
+
+class DiskCache:
+    """One cache directory plus this process's hit/miss accounting.
+
+    ``hits`` / ``misses`` / ``stores`` / ``corrupt`` are
+    :class:`collections.Counter` objects keyed by entry kind
+    (``"bytecode"`` / ``"codegen"``); tests and the exploration
+    benchmarks read them to assert that warm runs actually skipped
+    lowering and generation.
+    """
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+        self.hits: Counter = Counter()
+        self.misses: Counter = Counter()
+        self.stores: Counter = Counter()
+        self.corrupt: Counter = Counter()
+        self.failures: Counter = Counter()  # stores that could not land
+
+    # -- paths ---------------------------------------------------------------------
+
+    @property
+    def entry_dir(self) -> Path:
+        return self.root / f"v{FORMAT_VERSION}" / \
+            f"{_CACHE_TAG}-{_source_token()}"
+
+    def entry_path(self, kind: str, digest: str) -> Path:
+        return self.entry_dir / f"{digest}.{kind}.pkl"
+
+    # -- read / write --------------------------------------------------------------
+
+    def load(self, kind: str, digest: str):
+        """The stored payload, or ``None`` on any kind of miss.
+
+        A malformed entry — truncated write, foreign file, stale class
+        layout, header mismatch — is treated exactly like an absent one
+        (counted under ``corrupt``); the caller regenerates and the
+        normal store path rewrites it.
+        """
+        path = self.entry_path(kind, digest)
+        try:
+            with open(path, "rb") as fh:
+                entry = pickle.load(fh)
+            if (entry.get("version"), entry.get("kind"),
+                    entry.get("digest")) != (FORMAT_VERSION, kind, digest):
+                raise ValueError("cache entry header mismatch")
+            payload = entry["payload"]
+        except FileNotFoundError:
+            self.misses[kind] += 1
+            return None
+        except Exception:
+            self.corrupt[kind] += 1
+            self.misses[kind] += 1
+            return None
+        self.hits[kind] += 1
+        return payload
+
+    def unusable(self, kind: str) -> None:
+        """Reclassify the most recent hit as a corrupt miss.
+
+        Called by a consumer whose entry unpickled cleanly but failed
+        reconstruction (stale class layout), so the hit counters only
+        ever count entries that were actually *served* — assertions on
+        them stay meaningful.
+        """
+        self.hits[kind] -= 1
+        self.misses[kind] += 1
+        self.corrupt[kind] += 1
+
+    def store(self, kind: str, digest: str, payload) -> bool:
+        """Atomically publish *payload*; never raises.
+
+        The entry is serialized first, written to a process-unique
+        temporary file in the entry directory and renamed into place
+        (:func:`os.replace`), so concurrent writers of one key — two
+        pool workers compiling the same benchmark — each publish a
+        complete entry and the survivor is valid either way.
+        """
+        try:
+            blob = pickle.dumps(
+                {"version": FORMAT_VERSION, "kind": kind, "digest": digest,
+                 "payload": payload},
+                protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            self.failures[kind] += 1
+            return False
+        path = self.entry_path(kind, digest)
+        try:
+            self.entry_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=f".{digest[:12]}.", suffix=".tmp",
+                dir=str(self.entry_dir))
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.failures[kind] += 1
+            return False
+        self.stores[kind] += 1
+        return True
+
+    # -- inspection ----------------------------------------------------------------
+
+    def _version_dirs(self) -> List[Path]:
+        """The cache's own ``v<digits>`` layout directories — and only
+        those, so a cache root pointed at a shared directory never
+        exposes unrelated children (``vendor/``, ``venv/``, …) to
+        iteration or, worse, to :meth:`clear`."""
+        if not self.root.is_dir():
+            return []
+        return sorted(path for path in self.root.glob("v*")
+                      if path.is_dir() and path.name[1:].isdigit())
+
+    def entries(self) -> Iterator[Tuple[str, Path]]:
+        """``(kind, path)`` for every entry file of any version/tag."""
+        for version_dir in self._version_dirs():
+            for path in sorted(version_dir.rglob("*.pkl")):
+                stem = path.name[:-len(".pkl")]
+                kind = stem.rsplit(".", 1)[1] if "." in stem else "?"
+                yield kind, path
+
+    def clear(self) -> int:
+        """Delete every entry (all versions/tags); returns files removed.
+
+        Only the cache's own version directories are touched; anything
+        else living under the root is left alone.
+        """
+        import shutil
+        removed = sum(1 for _ in self.entries())
+        for version_dir in self._version_dirs():
+            shutil.rmtree(version_dir, ignore_errors=True)
+        return removed
+
+
+# -- the process-wide handle -------------------------------------------------------
+
+_active: Optional[Tuple[Path, DiskCache]] = None
+
+
+def get_cache() -> Optional[DiskCache]:
+    """The process's cache handle for the currently-resolved root.
+
+    ``None`` when the tier is disabled.  The handle (and its counters)
+    is stable while the resolved root stays the same; repointing
+    ``REPRO_CACHE`` mid-process — tests do — swaps in a fresh handle.
+    """
+    global _active
+    root = resolve_cache_root()
+    if root is None:
+        return None
+    if _active is None or _active[0] != root:
+        _active = (root, DiskCache(root))
+    return _active[1]
+
+
+def reset_cache_state() -> None:
+    """Drop the process-wide handle (tests; counters start over)."""
+    global _active
+    _active = None

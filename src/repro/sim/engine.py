@@ -1647,6 +1647,52 @@ class _LoweredGraph:
         self._derived_in_count = derived_in_count
         self._edge_dst_idx = edge_dst_idx
 
+    def __getstate__(self):
+        """Pickle form with word references flattened to indices.
+
+        Words reference their successor words *directly* (that is what
+        makes the dispatch loop fast), which makes the raw object graph
+        both cyclic and as deeply nested as the longest straight-line
+        thread — default pickling would hit the recursion limit on any
+        non-trivial graph.  Word-reference operands (always ``list``
+        objects; every other operand kind is a scalar, string, tuple or
+        function) are replaced by their index into ``words`` and
+        restored by :meth:`__setstate__`.  The disk cache
+        (:mod:`repro.sim.diskcache`) relies on this round trip.
+        """
+        index = {id(word): i for i, word in enumerate(self.words)}
+        packed: List[list] = []
+        refs: List[List[Tuple[int, int]]] = []
+        for word in self.words:
+            slots = [(s, index[id(op)]) for s, op in enumerate(word)
+                     if isinstance(op, list)]
+            if slots:
+                word = list(word)
+                for s, _ in slots:
+                    word[s] = None
+            packed.append(word)
+            refs.append(slots)
+        state = {name: getattr(self, name) for name in self.__slots__
+                 if name not in ("words", "entry_word")}
+        state["packed_words"] = packed
+        state["word_refs"] = refs
+        state["entry_word_index"] = None if self.entry_word is None \
+            else index[id(self.entry_word)]
+        return state
+
+    def __setstate__(self, state):
+        packed = state.pop("packed_words")
+        refs = state.pop("word_refs")
+        entry = state.pop("entry_word_index")
+        words = [list(word) for word in packed]
+        for word, slots in zip(words, refs):
+            for s, i in slots:
+                word[s] = words[i]
+        for name, value in state.items():
+            setattr(self, name, value)
+        self.words = words
+        self.entry_word = None if entry is None else words[entry]
+
     def resolve_counters(self, branch_hits: List[int],
                          calls: int) -> Tuple[List[int], List[int]]:
         """Reconstruct the full flat (node_hits, edge_hits) arrays from
@@ -1693,8 +1739,25 @@ class LoweredModule:
             self.graphs[name] = _LoweredGraph(graph, module, self)
         self._signature = _structure_signature(module)
 
+    @classmethod
+    def from_graphs(cls, module: GraphModule,
+                    graphs: Dict[str, _LoweredGraph]) -> "LoweredModule":
+        """Rebind disk-loaded lowered *graphs* to the live *module*.
 
-def lower_module(module: GraphModule) -> LoweredModule:
+        The graphs carry everything execution needs (words, frame
+        plans, profile tables); only the module reference and the
+        in-memory cache signature are process-local, so both are
+        re-derived from the live module here.
+        """
+        lowered = cls.__new__(cls)
+        lowered.module = module
+        lowered.graphs = graphs
+        lowered._signature = _structure_signature(module)
+        return lowered
+
+
+def lower_module(module: GraphModule,
+                 _digest: Optional[str] = None) -> LoweredModule:
     """Bytecode form of *module*, cached on the module itself.
 
     Same cache protocol as :func:`compile_module`: the lowered form is
@@ -1702,11 +1765,41 @@ def lower_module(module: GraphModule) -> LoweredModule:
     rebuilt on a hit) and invalidated by any graph mutation; the cache is
     stripped at pickle boundaries (``GraphModule.__getstate__``) and
     rebuilt lazily in each worker process.
+
+    Below the in-memory cache sits the disk tier
+    (:mod:`repro.sim.diskcache`): on an in-memory miss the module's
+    structural digest is looked up on disk first, so a cold process —
+    a fresh pool worker, a new CLI invocation — whose module was ever
+    lowered before skips the lowering walk entirely.  A fresh lowering
+    is published back to disk for the next cold process.
+
+    ``_digest`` lets a caller that already computed the structural
+    digest for this exact module state (``generate_module``, whose
+    codegen entry shares the key) avoid a second digest walk.
     """
     cached = module.__dict__.get("_lowered_cache")
     if cached is not None and _signature_matches(module, cached._signature):
         return cached
+    # One cache handle for the whole miss: lookup, rebuild and store all
+    # hit the same directory even if REPRO_CACHE is repointed mid-call.
+    from repro.sim.diskcache import get_cache, module_digest
+    cache = get_cache()
+    digest = None
+    if cache is not None:
+        digest = _digest if _digest is not None else module_digest(module)
+        payload = cache.load("bytecode", digest)
+        if payload is not None:
+            try:
+                lowered = LoweredModule.from_graphs(module,
+                                                    payload["graphs"])
+            except Exception:
+                cache.unusable("bytecode")
+            else:
+                module._lowered_cache = lowered
+                return lowered
     lowered = LoweredModule(module)
+    if cache is not None:
+        cache.store("bytecode", digest, {"graphs": lowered.graphs})
     module._lowered_cache = lowered
     return lowered
 

@@ -46,16 +46,54 @@ def shift_right(a: int, b: int) -> int:
     return a >> b
 
 
+# Named module-level functions, not lambdas: the bytecode/codegen
+# tiers inline these objects into lowered words and generated-source
+# constants, which the disk cache (sim/diskcache.py) pickles — and
+# pickle serializes functions by qualified name, which lambdas lack.
+
+
+def _intrin_sin(a):
+    return math.sin(a)
+
+
+def _intrin_cos(a):
+    return math.cos(a)
+
+
+def _intrin_sqrt(a):
+    return math.sqrt(a) if a >= 0 else _domain("sqrt", a)
+
+
+def _intrin_fabs(a):
+    return abs(a)
+
+
+def _intrin_exp(a):
+    return math.exp(a)
+
+
+def _intrin_log(a):
+    return math.log(a) if a > 0 else _domain("log", a)
+
+
+def _intrin_atan2(a, b):
+    return math.atan2(a, b)
+
+
+def _intrin_pow(a, b):
+    return math.pow(a, b)
+
+
 INTRINSIC_IMPL = {
-    "sin": lambda a: math.sin(a),
-    "cos": lambda a: math.cos(a),
-    "sqrt": lambda a: math.sqrt(a) if a >= 0 else _domain("sqrt", a),
-    "fabs": lambda a: abs(a),
-    "exp": lambda a: math.exp(a),
-    "log": lambda a: math.log(a) if a > 0 else _domain("log", a),
-    "atan2": lambda a, b: math.atan2(a, b),
-    "pow": lambda a, b: math.pow(a, b),
-    "abs": lambda a: abs(a),
+    "sin": _intrin_sin,
+    "cos": _intrin_cos,
+    "sqrt": _intrin_sqrt,
+    "fabs": _intrin_fabs,
+    "exp": _intrin_exp,
+    "log": _intrin_log,
+    "atan2": _intrin_atan2,
+    "pow": _intrin_pow,
+    "abs": _intrin_fabs,
 }
 
 

@@ -41,7 +41,10 @@ class BenchmarkRun:
 
     spec: BenchmarkSpec
     level: OptLevel
-    module: Module
+    #: The front-end module, or ``None`` for runs built from a
+    #: pre-optimized pair only (``run_benchmark(optimized=...)`` with no
+    #: ``module=``) — nothing downstream of the optimizer needs it.
+    module: Optional[Module]
     graph_module: GraphModule
     opt_report: OptimizationReport
     machine_result: MachineResult
@@ -174,11 +177,15 @@ def run_benchmark(spec: BenchmarkSpec,
     level = OptLevel(level)
     ensure_engine(engine)
     seeds = validate_seeds(seeds)
-    if module is None:
-        module = compile_benchmark(spec)
     if optimized is not None:
+        # The caller holds the optimized pair already (the study
+        # executor's per-worker memo); compiling the front end here
+        # would be pure waste — ``module`` stays ``None`` on the run
+        # unless the caller supplied one.
         graph_module, report = optimized
     else:
+        if module is None:
+            module = compile_benchmark(spec)
         graph_module, report = optimize_module(module, level,
                                                unroll_factor=unroll_factor)
     if seeds:

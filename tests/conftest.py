@@ -2,7 +2,22 @@
 
 from __future__ import annotations
 
+import atexit
+import os
+import shutil
+import tempfile
+
 import pytest
+
+# Keep test runs hermetic: unless the caller pinned a cache location
+# (CI's warm-cache pass sets REPRO_CACHE explicitly), point the
+# compile-artifact disk cache at a throwaway directory instead of the
+# user's ~/.cache/repro, so tests neither read stale entries nor leave
+# thousands of fuzz-module entries behind.
+if "REPRO_CACHE" not in os.environ:
+    _cache_tmp = tempfile.mkdtemp(prefix="repro-test-cache-")
+    os.environ["REPRO_CACHE"] = _cache_tmp
+    atexit.register(shutil.rmtree, _cache_tmp, True)
 
 from repro.cfg.build import build_module_graphs
 from repro.frontend import compile_source

@@ -56,6 +56,69 @@ class TestParser:
         err = capsys.readouterr().err
         assert "--seeds" in err and "duplicate" in err
 
+    def parse_normalized(self, *argv):
+        from repro.cli import _normalize_argv
+        return build_parser().parse_args(_normalize_argv(list(argv)))
+
+    def test_negative_seeds_equals_form(self):
+        args = self.parse_normalized("study", "--seeds=-1,3")
+        assert args.seeds == (-1, 3)
+
+    def test_negative_seeds_separate_token(self):
+        # argparse alone swallows "-1,3" as an unknown option; the argv
+        # normalization joins it onto the flag so the validator sees it.
+        args = self.parse_normalized("study", "--seeds", "-1,3")
+        assert args.seeds == (-1, 3)
+
+    def test_single_negative_seed(self):
+        args = self.parse_normalized("study", "--seeds", "-1")
+        assert args.seeds == (-1,)
+
+    def test_malformed_seeds_get_a_clear_error(self, capsys):
+        with pytest.raises(SystemExit):
+            self.parse_normalized("study", "--seeds", "1,x")
+        err = capsys.readouterr().err
+        assert "comma-separated integers" in err
+
+    def test_malformed_negative_seeds_get_a_clear_error(self, capsys):
+        # Starts like a negative seed, ends malformed: still reaches the
+        # seed parser and its message, not argparse's generic complaint.
+        with pytest.raises(SystemExit):
+            self.parse_normalized("study", "--seeds", "-1,x")
+        err = capsys.readouterr().err
+        assert "comma-separated integers" in err
+
+    def test_missing_seeds_value_still_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            self.parse_normalized("study", "--seeds")
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_normalization_leaves_other_flags_alone(self):
+        args = self.parse_normalized("study", "--seeds", "4,5",
+                                     "--seed", "3")
+        assert args.seeds == (4, 5)
+        assert args.seed == 3
+
+    def test_budgets_parsing(self):
+        args = build_parser().parse_args(
+            ["explore-study", "--budgets", "2500,1500,2500"])
+        assert args.budgets == (2500, 1500)  # order kept, dupes dropped
+
+    def test_bad_budgets_rejected_at_the_flag(self, capsys):
+        for value in ("0", "1500,x", " , "):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["explore-study", "--budgets", value])
+            assert "--budgets" in capsys.readouterr().err
+
+    def test_negative_budgets_get_the_parser_message(self, capsys):
+        # Same normalization as --seeds: a leading-negative value must
+        # reach _parse_budgets' message, not argparse's generic one.
+        with pytest.raises(SystemExit):
+            self.parse_normalized("explore-study", "--budgets",
+                                  "-100,2500")
+        assert "must be positive" in capsys.readouterr().err
+
 
 class TestList:
     def test_lists_all_twelve(self):
@@ -125,6 +188,71 @@ class TestExplore:
     def test_explore_unknown_benchmark(self):
         code, _text = run_cli("explore", "nope")
         assert code == 2
+
+
+class TestExploreStudy:
+    def test_explore_study_on_a_subset(self):
+        code, text = run_cli("explore-study", "--benchmarks", "sewha,dft",
+                             "--budgets", "1500,2500")
+        assert code == 0
+        assert "sewha @ base" in text
+        assert "sewha @ budget 1500" in text
+        for row in ("sewha", "dft"):
+            assert text.count(row + " ") >= 2  # one table row per budget
+        assert "best design" in text
+
+    def test_explore_study_json_export(self, tmp_path):
+        out_file = tmp_path / "explore.json"
+        code, text = run_cli("explore-study", "--benchmarks", "sewha",
+                             "--budgets", "1500", "--json",
+                             str(out_file))
+        assert code == 0
+        import json
+        data = json.loads(out_file.read_text())
+        assert data["config"]["budgets"] == [1500]
+        assert data["cells"][0]["benchmark"] == "sewha"
+        assert data["cells"][0]["best_speedup"] > 1.0
+
+    def test_explore_study_unknown_benchmark(self):
+        code, _text = run_cli("explore-study", "--benchmarks", "nope")
+        assert code == 2
+
+
+class TestCacheCommand:
+    @pytest.fixture(autouse=True)
+    def restore_cache_env(self, monkeypatch):
+        # --cache-dir writes REPRO_CACHE (so pool workers inherit it);
+        # re-register the current value with monkeypatch so the write is
+        # undone when the test ends.
+        import os
+        current = os.environ.get("REPRO_CACHE")
+        if current is None:
+            monkeypatch.delenv("REPRO_CACHE", raising=False)
+        else:
+            monkeypatch.setenv("REPRO_CACHE", current)
+
+    def test_show_clear_cycle(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        code, text = run_cli("cache", "show", "--cache-dir", cache_dir)
+        assert code == 0
+        assert "entries:         none" in text
+        # Prime the cache through a real command on a disk-cached tier.
+        code, _ = run_cli("explore", "sewha", "--budget", "1500",
+                          "--engine", "codegen", "--cache-dir", cache_dir)
+        assert code == 0
+        code, text = run_cli("cache", "show", "--cache-dir", cache_dir)
+        assert code == 0
+        assert "bytecode" in text and "codegen" in text
+        code, text = run_cli("cache", "clear", "--cache-dir", cache_dir)
+        assert code == 0
+        assert "removed" in text
+        code, text = run_cli("cache", "show", "--cache-dir", cache_dir)
+        assert "entries:         none" in text
+
+    def test_show_disabled(self):
+        code, text = run_cli("cache", "show", "--cache-dir", "none")
+        assert code == 0
+        assert "disabled" in text
 
 
 class TestTables:

@@ -672,3 +672,116 @@ class TestInputValidation:
         assert validate_seeds(None) is None
         assert validate_seeds((2, 0, 1)) == (2, 0, 1)
         assert validate_seeds([5]) == (5,)
+
+
+class TestPoolResizeFailure:
+    """Satellite fix: a failed resize must not leave a dead pool behind."""
+
+    def test_failed_resize_resets_state_and_recovers(self, monkeypatch):
+        from concurrent.futures import ProcessPoolExecutor
+
+        pool_mod.shutdown_pool()
+        original = pool_mod.get_pool(1)
+        assert pool_mod._pool_workers == 1
+
+        def refuse(max_workers):
+            raise RuntimeError("no workers for you")
+
+        monkeypatch.setattr(pool_mod, "ProcessPoolExecutor", refuse)
+        with pytest.raises(RuntimeError, match="no workers"):
+            pool_mod.get_pool(2)  # resize: old pool shut down, new fails
+        # The stale (pool, count) pair must be gone — before the fix,
+        # get_pool(1) handed the shut-down executor straight back.
+        assert pool_mod._pool is None
+        assert pool_mod._pool_workers == 0
+
+        monkeypatch.setattr(pool_mod, "ProcessPoolExecutor",
+                            ProcessPoolExecutor)
+        replacement = pool_mod.get_pool(1)
+        assert replacement is not original
+        assert replacement.submit(int, "7").result() == 7  # actually alive
+        pool_mod.shutdown_pool()
+
+
+class TestWorkerCacheEpochs:
+    """Satellite fix: the per-worker memo is bounded per operation."""
+
+    def test_same_epoch_keeps_memo_new_epoch_clears_it(self):
+        from repro.exec.pool import (clear_worker_cache, next_epoch,
+                                     sync_epoch, worker_cached)
+        clear_worker_cache()
+        first = next_epoch()
+        sync_epoch(first)
+        assert worker_cached("epoch-probe", lambda: "a") == "a"
+        sync_epoch(first)  # same operation: memo survives
+        assert worker_cached("epoch-probe", lambda: "b") == "a"
+        sync_epoch(next_epoch())  # next operation: memo dropped
+        assert worker_cached("epoch-probe", lambda: "c") == "c"
+        clear_worker_cache()
+
+    def test_none_epoch_is_a_no_op(self):
+        from repro.exec.pool import (clear_worker_cache, sync_epoch,
+                                     worker_cached)
+        clear_worker_cache()
+        assert worker_cached("noop-probe", lambda: 1) == 1
+        sync_epoch(None)
+        assert worker_cached("noop-probe", lambda: 2) == 1
+        clear_worker_cache()
+
+    def test_studies_do_not_accumulate_memo_entries(self):
+        # Two serial studies through the executor: the second study's
+        # epoch clears the first's derivations, so the memo holds one
+        # study's worth of entries, not the union of every study ever.
+        from repro.exec import pool as p
+        from repro.exec.study import execute_study
+        p.clear_worker_cache()
+        execute_study(StudyConfig(benchmarks=("fir",), jobs=1), jobs=1)
+        after_first = set(p._worker_cache)
+        execute_study(StudyConfig(benchmarks=("iir",), jobs=1), jobs=1)
+        after_second = set(p._worker_cache)
+        assert any(key[1] == "fir" for key in after_first)
+        assert all(key[1] != "fir" for key in after_second), \
+            "the first study's compiles must not outlive it"
+        assert any(key[1] == "iir" for key in after_second)
+        p.clear_worker_cache()
+
+
+class TestOptimizedSkipsFrontend:
+    """Satellite fix: run_benchmark(optimized=...) must not recompile the
+    front end it will never use."""
+
+    def test_frontend_skipped_when_optimized_supplied(self, monkeypatch):
+        import repro.suite.runner as runner_mod
+        from repro.opt.pipeline import optimize_module
+        spec = get_benchmark("fir")
+        module = compile_benchmark(spec)
+        optimized = optimize_module(module, OptLevel(1), unroll_factor=2)
+
+        def exploding(_spec):
+            raise AssertionError(
+                "optimized= callers must not pay a front-end compile")
+
+        monkeypatch.setattr(runner_mod, "compile_benchmark", exploding)
+        run = runner_mod.run_benchmark(spec, OptLevel(1),
+                                       optimized=optimized)
+        assert run.module is None  # no front end was compiled
+        assert run.graph_module is optimized[0]
+
+    def test_optimized_with_module_keeps_module(self):
+        from repro.opt.pipeline import optimize_module
+        spec = get_benchmark("fir")
+        module = compile_benchmark(spec)
+        optimized = optimize_module(module, OptLevel(1), unroll_factor=2)
+        run = run_benchmark(spec, OptLevel(1), module=module,
+                            optimized=optimized)
+        assert run.module is module
+
+    def test_optimized_run_matches_plain_run(self):
+        from repro.opt.pipeline import optimize_module
+        spec = get_benchmark("fir")
+        module = compile_benchmark(spec)
+        optimized = optimize_module(module, OptLevel(1), unroll_factor=2)
+        via_optimized = run_benchmark(spec, OptLevel(1),
+                                      optimized=optimized)
+        plain = run_benchmark(spec, OptLevel(1))
+        assert_runs_identical(via_optimized, plain)

@@ -1,0 +1,309 @@
+"""Differential harness for the suite-wide exploration executor.
+
+``run_exploration_study`` must be indistinguishable from running the
+paper's per-benchmark ``explore_designs`` loop yourself: same candidate
+rankings, same finalist subsets, same measured cycle counts and chain
+issues, for every benchmark and every budget — and identical for any
+``jobs`` value.  The harness pins all of it over the full 12-benchmark
+suite (the acceptance bar for the executor), plus seed sharding,
+scheduling shape, config validation and the warm-disk-cache fast path.
+"""
+
+import pytest
+
+from repro.asip.evaluate import merge_evaluations
+from repro.asip.explore import (candidate_pool, explore_designs,
+                                rank_candidates, select_finalists)
+from repro.errors import ReproError
+from repro.feedback.study import (ExplorationStudyConfig,
+                                  ExplorationStudyResult,
+                                  run_exploration_study)
+from repro.opt.pipeline import OptLevel
+from repro.suite.registry import all_benchmarks, get_benchmark
+from repro.suite.runner import compile_benchmark
+
+SUITE = [spec.name for spec in all_benchmarks()]
+BUDGET = 2500
+
+
+def evaluation_projection(evaluation):
+    return {
+        "base_cycles": evaluation.base_cycles,
+        "chained_cycles": evaluation.chained_cycles,
+        "area": evaluation.extension_area,
+        "chain_issues": evaluation.chain_issues,
+        "sites": evaluation.selection.sites,
+        "nodes_removed": evaluation.selection.nodes_removed,
+    }
+
+
+def exploration_projection(result):
+    """Everything one exploration *means*, minus process-local objects."""
+    return {
+        "candidates": [(c.pattern, c.frequency, c.area, c.cycles_saved)
+                       for c in result.candidates],
+        "measured": [
+            (tuple(point.labels()), evaluation_projection(point.evaluation))
+            for point in result.measured],
+        "best": None if result.best is None
+        else tuple(result.best.labels()),
+    }
+
+
+def study_projection(study: ExplorationStudyResult):
+    return {key: exploration_projection(exploration)
+            for key, exploration in study.explorations.items()}
+
+
+@pytest.fixture(scope="module")
+def serial_study():
+    return run_exploration_study(
+        ExplorationStudyConfig(budgets=(BUDGET,), jobs=1))
+
+
+@pytest.fixture(scope="module")
+def parallel_study():
+    return run_exploration_study(
+        ExplorationStudyConfig(budgets=(BUDGET,), jobs=2))
+
+
+class TestSuiteEquivalence:
+    def test_covers_the_whole_suite(self, serial_study):
+        assert serial_study.names() == SUITE
+        assert serial_study.budgets() == [BUDGET]
+        assert len(serial_study.explorations) == len(SUITE)
+
+    def test_parallel_identical_to_serial(self, serial_study,
+                                          parallel_study):
+        assert study_projection(parallel_study) == \
+            study_projection(serial_study)
+
+    def test_matches_per_benchmark_explore_designs(self, serial_study):
+        for name in SUITE:
+            spec = get_benchmark(name)
+            solo = explore_designs(
+                compile_benchmark(spec), spec.generate_inputs(0),
+                area_budget=BUDGET, level=OptLevel(1))
+            assert exploration_projection(solo) == \
+                exploration_projection(
+                    serial_study.exploration(name, BUDGET)), name
+
+    def test_every_benchmark_found_a_design(self, serial_study):
+        for name in SUITE:
+            best = serial_study.best(name, BUDGET)
+            assert best is not None, name
+            assert best.speedup > 1.0, name
+            assert best.area <= BUDGET, name
+
+
+class TestBudgetMatrix:
+    CONFIG = dict(benchmarks=("sewha", "edge"), budgets=(900, 1500, 2500))
+
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return run_exploration_study(ExplorationStudyConfig(**self.CONFIG))
+
+    def test_budget_cells_match_standalone_runs(self, matrix):
+        for name in self.CONFIG["benchmarks"]:
+            spec = get_benchmark(name)
+            module = compile_benchmark(spec)
+            for budget in self.CONFIG["budgets"]:
+                solo = explore_designs(module, spec.generate_inputs(0),
+                                       area_budget=budget,
+                                       level=OptLevel(1))
+                assert exploration_projection(solo) == \
+                    exploration_projection(matrix.exploration(name, budget))
+
+    def test_larger_budgets_never_hurt(self, matrix):
+        for name in self.CONFIG["benchmarks"]:
+            speedups = [matrix.best(name, b).speedup
+                        for b in self.CONFIG["budgets"]]
+            assert speedups == sorted(speedups)
+
+    def test_duplicate_names_and_budgets_collapse(self):
+        study = run_exploration_study(ExplorationStudyConfig(
+            benchmarks=("sewha", "sewha"), budgets=(1500, 1500)))
+        assert list(study.explorations) == [("sewha", 1500)]
+
+    def test_unknown_cell_raises(self, matrix):
+        with pytest.raises(ReproError, match="no cell"):
+            matrix.exploration("sewha", 31337)
+
+
+class TestMultiSeed:
+    SEEDS = (0, 1, 2, 3, 4)
+    NAMES = ("sewha", "dft")
+
+    @pytest.fixture(scope="class")
+    def sharded(self):
+        # 5 seeds and jobs=3 forces seed sharding (>= SEED_SHARD_MIN).
+        return run_exploration_study(ExplorationStudyConfig(
+            benchmarks=self.NAMES, budgets=(BUDGET,), seeds=self.SEEDS,
+            jobs=3))
+
+    def test_sharded_identical_to_serial(self, sharded):
+        serial = run_exploration_study(ExplorationStudyConfig(
+            benchmarks=self.NAMES, budgets=(BUDGET,), seeds=self.SEEDS,
+            jobs=1))
+        assert study_projection(sharded) == study_projection(serial)
+
+    def test_candidates_come_from_the_primary_seed(self, sharded):
+        primary_only = run_exploration_study(ExplorationStudyConfig(
+            benchmarks=("sewha",), budgets=(BUDGET,), seed=self.SEEDS[0]))
+        assert exploration_projection(
+            sharded.exploration("sewha", BUDGET))["candidates"] == \
+            exploration_projection(
+                primary_only.exploration("sewha", BUDGET))["candidates"]
+
+    def test_aggregates_cycles_over_all_seeds(self, sharded):
+        # The merged evaluation of each design point is exactly the
+        # fold of independently-computed per-seed evaluations of the
+        # same ISA: cycle totals sum, chain issues sum, area unchanged.
+        from repro.asip.evaluate import evaluate_on_sequential
+        from repro.asip.resequence import resequence_module
+        from repro.opt.pipeline import optimize_module
+        spec = get_benchmark("sewha")
+        gm, _ = optimize_module(compile_benchmark(spec), OptLevel(1))
+        sequential = resequence_module(gm)
+        merged = sharded.exploration("sewha", BUDGET)
+        assert merged.measured
+        for point in merged.measured:
+            per_seed = tuple(evaluate_on_sequential(
+                sequential, point.isa, spec.generate_inputs(s))
+                for s in self.SEEDS)
+            assert point.evaluation.base_cycles == \
+                sum(e.base_cycles for e in per_seed)
+            assert point.evaluation.chained_cycles == \
+                sum(e.chained_cycles for e in per_seed)
+            assert evaluation_projection(point.evaluation) == \
+                evaluation_projection(merge_evaluations(per_seed))
+
+
+class TestScheduleShape:
+    def test_base_gates_budget_cells(self):
+        from repro.exec.explore import build_exploration_schedule
+        config = ExplorationStudyConfig(benchmarks=("fir", "iir"),
+                                        budgets=(1500, 2500))
+        tasks = build_exploration_schedule(config, ["fir", "iir"])
+        by_key = {task.key: task for task in tasks}
+        assert set(by_key) == {
+            ("base", "fir"), ("base", "iir"),
+            ("fin", "fir", 1500, 0), ("fin", "fir", 2500, 0),
+            ("fin", "iir", 1500, 0), ("fin", "iir", 2500, 0)}
+        for key, task in by_key.items():
+            assert task.affinity == key[1]
+            if key[0] == "fin":
+                assert task.deps == (("base", key[1]),)
+            else:
+                assert task.deps == ()
+
+    def test_seed_shards_multiply_measurement_tasks(self):
+        from repro.exec.explore import build_exploration_schedule
+        config = ExplorationStudyConfig(benchmarks=("fir",),
+                                        budgets=(2500,),
+                                        seeds=(0, 1, 2, 3, 4))
+        tasks = build_exploration_schedule(config, ["fir"], jobs=3)
+        fins = [t for t in tasks if t.key[0] == "fin"]
+        assert [t.key[3] for t in fins] == [0, 1, 2]
+        # jobs=1 keeps the batch whole.
+        tasks = build_exploration_schedule(config, ["fir"], jobs=1)
+        assert sum(t.key[0] == "fin" for t in tasks) == 1
+
+    def test_progress_reports_base_then_budgets(self):
+        events = []
+        run_exploration_study(
+            ExplorationStudyConfig(benchmarks=("sewha",),
+                                   budgets=(1500, 2500)),
+            progress=lambda name, stage: events.append((name, stage)))
+        assert events == [("sewha", "base"), ("sewha", "budget 1500"),
+                          ("sewha", "budget 2500")]
+
+
+class TestStageHelpers:
+    """The pure stages explore_designs and the executor share."""
+
+    @pytest.fixture(scope="class")
+    def pool(self):
+        from repro.asip.cost import DEFAULT_COST_MODEL
+        from repro.chaining.detect import detect_sequences
+        from repro.opt.pipeline import optimize_module
+        from repro.sim.machine import run_module
+        spec = get_benchmark("sewha")
+        gm, _ = optimize_module(compile_benchmark(spec), OptLevel(1))
+        profile = run_module(gm, spec.generate_inputs(0)).profile
+        detection = detect_sequences(gm, profile, (2, 3))
+        return candidate_pool(detection, DEFAULT_COST_MODEL)
+
+    def test_pool_is_budget_agnostic(self, pool):
+        assert pool  # sewha always has chainable sequences
+        assert all(c.cycles_saved > 0 and c.frequency > 0 for c in pool)
+
+    def test_rank_filters_by_area_and_truncates(self, pool):
+        everything = rank_candidates(pool, 10 ** 9, max_candidates=1000)
+        assert len(everything) == len(pool)
+        estimates = [c.estimate for c in everything]
+        assert estimates == sorted(estimates, reverse=True)
+        tiny = rank_candidates(pool, 600, max_candidates=8)
+        assert all(c.area <= 600 for c in tiny)
+        assert len(rank_candidates(pool, 10 ** 9, max_candidates=3)) == 3
+
+    def test_finalists_under_budget_and_canonical(self, pool):
+        candidates = rank_candidates(pool, 2500, max_candidates=8)
+        combos = select_finalists(candidates, 2500, measure_top=4)
+        assert combos == sorted(combos)
+        assert 1 <= len(combos) <= 5
+        for combo in combos:
+            assert sum(candidates[i].area for i in combo) <= 2500
+
+    def test_no_candidates_no_finalists(self):
+        assert select_finalists([], 2500, measure_top=4) == []
+
+
+class TestValidation:
+    def test_empty_budgets(self):
+        with pytest.raises(ReproError, match="budgets is empty"):
+            run_exploration_study(ExplorationStudyConfig(budgets=()))
+
+    def test_non_positive_budget(self):
+        with pytest.raises(ReproError, match="must be positive"):
+            run_exploration_study(ExplorationStudyConfig(budgets=(2500, 0)))
+
+    def test_bad_level(self):
+        with pytest.raises(ReproError, match="optimization level"):
+            run_exploration_study(ExplorationStudyConfig(level=7))
+
+    def test_bad_engine(self):
+        with pytest.raises(Exception, match="unknown engine"):
+            run_exploration_study(ExplorationStudyConfig(engine="turbo"))
+
+    def test_duplicate_seeds(self):
+        with pytest.raises(ReproError, match="duplicate"):
+            run_exploration_study(
+                ExplorationStudyConfig(seeds=(1, 1)))
+
+    def test_unknown_benchmark_fails_before_any_work(self):
+        with pytest.raises(ReproError):
+            run_exploration_study(
+                ExplorationStudyConfig(benchmarks=("nope",)))
+
+
+class TestDiskCacheIntegration:
+    def test_warm_cache_exploration_identical_and_served(self, tmp_path,
+                                                         monkeypatch):
+        from repro.sim import diskcache
+        config = ExplorationStudyConfig(benchmarks=("sewha",),
+                                        budgets=(1500,), engine="codegen",
+                                        jobs=1)  # counters live in-process
+        monkeypatch.setenv(diskcache.CACHE_ENV_VAR, str(tmp_path))
+        diskcache.reset_cache_state()
+        cold = run_exploration_study(config)
+        cache = diskcache.get_cache()
+        assert cache.stores["codegen"] > 0
+        stores_after_cold = cache.stores["codegen"]
+        warm = run_exploration_study(config)
+        assert study_projection(warm) == study_projection(cold)
+        # Every module of the warm pass was served from disk: codegen
+        # entries were hit, and nothing new needed storing.
+        assert cache.hits["codegen"] >= stores_after_cold
+        assert cache.stores["codegen"] == stores_after_cold
+        diskcache.reset_cache_state()
