@@ -12,7 +12,7 @@ from repro.chaining.detect import detect_sequences
 from repro.frontend import compile_source
 from repro.opt.pipeline import OptLevel, optimize_module
 from repro.opt.percolation import compact_graph
-from repro.sim.machine import run_module
+from repro.sim.machine import run_module, run_module_batch
 from repro.suite.registry import get_benchmark
 from repro.suite.runner import compile_benchmark
 
@@ -141,6 +141,44 @@ def test_sim_codegen(benchmark, name, level):
     assert result.cycles > 500
 
 
+#: Batch width for the lane-vs-per-seed legs — the smallest batch the
+#: auto-upgrade reroutes to the lane tier (``LANE_SHARD_MIN``), i.e. the
+#: least favorable many-seed shape for lanes.
+BATCH_SEEDS = tuple(range(8))
+
+
+def _batch_cell(name, level):
+    spec = get_benchmark(name)
+    gm, _ = optimize_module(compile_benchmark(spec), OptLevel(level))
+    return gm, [spec.generate_inputs(s) for s in BATCH_SEEDS]
+
+
+@pytest.mark.parametrize("level", SIM_LEVELS)
+@pytest.mark.parametrize("name", SIM_BENCHES)
+def test_sim_batch_codegen(benchmark, name, level):
+    """Eight seeds as eight per-seed codegen runs through one batch: the
+    denominator of the lane speedup (paired with
+    ``test_sim_batch_lanes[name-level]``)."""
+    gm, inputs_list = _batch_cell(name, level)
+    run_module_batch(gm, inputs_list, engine="codegen")  # generate once
+    results = benchmark(run_module_batch, gm, inputs_list,
+                        engine="codegen")
+    assert len(results) == len(BATCH_SEEDS)
+
+
+@pytest.mark.parametrize("level", SIM_LEVELS)
+@pytest.mark.parametrize("name", SIM_BENCHES)
+def test_sim_batch_lanes(benchmark, name, level):
+    """The tier-5 acceptance leg: the same eight seeds in one
+    lane-parallel pass, target >= 2x over the matching
+    ``test_sim_batch_codegen[name-level]`` (recorded in
+    ``benchmarks/results/bench_lanes.json``)."""
+    gm, inputs_list = _batch_cell(name, level)
+    run_module_batch(gm, inputs_list, engine="lanes")  # generate once
+    results = benchmark(run_module_batch, gm, inputs_list, engine="lanes")
+    assert len(results) == len(BATCH_SEEDS)
+
+
 def test_simulator_compile_cost(benchmark, edge_module):
     """Cost of one cold compilation (paid once per module thanks to the
     on-module cache)."""
@@ -169,6 +207,16 @@ def test_simulator_codegen_cost(benchmark, edge_module):
     gm = build_module_graphs(edge_module)
     generated = benchmark(GeneratedModule, gm)
     assert generated.fns
+
+
+def test_simulator_lanegen_cost(benchmark, edge_module):
+    """Cost of one cold lane-module generation at width 8 (cached per
+    width, in memory and on disk, so a study pays it once per cell)."""
+    from repro.sim.lanes import LaneModule
+
+    gm = build_module_graphs(edge_module)
+    lanes = benchmark(LaneModule, gm, 8)
+    assert lanes.fns
 
 
 def _explore_edge(edge_module, edge_spec, engine):

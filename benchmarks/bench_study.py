@@ -89,6 +89,23 @@ def test_study_multiseed_batched(benchmark):
     assert run.seeds == SEEDS and len(run.seed_results) == len(SEEDS)
 
 
+#: Past :data:`repro.sim.machine.LANE_SHARD_MIN` seeds the batch path
+#: auto-upgrades to the lane engine — one generated pass for all seeds.
+LANE_SEEDS = tuple(range(8))
+
+
+def test_cell_multiseed_lanes(benchmark):
+    """One cell (edge @ level 1), eight seeds through one lane-parallel
+    pass; ratio against a pro-rated ``test_cell_multiseed_batched`` is
+    the study-level lane win."""
+    spec = get_benchmark("edge")
+    run = benchmark.pedantic(
+        run_benchmark, args=(spec, OptLevel.PIPELINED),
+        kwargs={"seeds": LANE_SEEDS}, rounds=3, iterations=1)
+    assert run.seeds == LANE_SEEDS
+    assert len({r.cycles for r in run.seed_results}) > 1
+
+
 def _unbatched_multiseed(spec):
     return [run_benchmark(spec, OptLevel.PIPELINED, seed=seed)
             for seed in SEEDS]

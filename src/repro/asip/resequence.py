@@ -32,17 +32,40 @@ from repro.ir.values import VirtualReg
 
 def resequence_module(module: GraphModule) -> GraphModule:
     """Flatten every graph of *module* to one operation per node."""
+    flat, _mapping = resequence_module_mapped(module)
+    return flat
+
+
+def resequence_module_mapped(module: GraphModule
+                             ) -> Tuple[GraphModule, Dict]:
+    """:func:`resequence_module` plus the node expansion it performed.
+
+    The second element maps ``{graph name: {original node id: tuple of
+    sequential node ids}}``.  Because every sequential node in a chain
+    executes exactly as often as the original node it came from (control
+    always enters a chain at its head and placeholders for empty nodes
+    are spliced away, mapping to ``()``), a profile of the original
+    graph determines the sequential graph's node counts exactly — the
+    exploration executor uses this to *derive* the single-issue base
+    processor's cycle count from the VLIW profiling run instead of
+    simulating the sequential program a second time.
+    """
+    graphs = {}
+    mapping: Dict[str, Dict[int, Tuple[int, ...]]] = {}
+    for name, g in module.graphs.items():
+        graphs[name], mapping[name] = _resequence_graph(g)
     flat = GraphModule(
         module.name,
-        {name: _resequence_graph(g) for name, g in module.graphs.items()},
+        graphs,
         module.global_arrays,
         module.array_initializers,
         module.global_scalars,
     )
-    return flat
+    return flat, mapping
 
 
-def _resequence_graph(graph: ProgramGraph) -> ProgramGraph:
+def _resequence_graph(graph: ProgramGraph
+                      ) -> Tuple[ProgramGraph, Dict[int, Tuple[int, ...]]]:
     out = ProgramGraph(graph.name, graph.params, graph.local_arrays,
                        graph.return_type)
     order = graph.rpo_order()
@@ -59,6 +82,7 @@ def _resequence_graph(graph: ProgramGraph) -> ProgramGraph:
 
     first_of: Dict[int, int] = {}  # original node id -> first new node id
     last_of: Dict[int, int] = {}   # original node id -> last new node id
+    chain_of: Dict[int, List[int]] = {}  # original node id -> its chain
 
     for nid in order:
         node = graph.nodes[nid]
@@ -89,6 +113,7 @@ def _resequence_graph(graph: ProgramGraph) -> ProgramGraph:
             out.add_edge(a, b)
         first_of[nid] = new_ids[0]
         last_of[nid] = new_ids[-1]
+        chain_of[nid] = new_ids
 
     for nid in order:
         for succ in graph.nodes[nid].succs:
@@ -97,7 +122,9 @@ def _resequence_graph(graph: ProgramGraph) -> ProgramGraph:
     # Splice out placeholder nodes kept for originally empty nodes.
     from repro.opt.percolation import delete_empty_nodes
     delete_empty_nodes(out)
-    return out
+    expansion = {nid: tuple(i for i in chain_of[nid] if i in out.nodes)
+                 for nid in order}
+    return out, expansion
 
 
 def _sequential_order(out: ProgramGraph, node: Node, control_clone,

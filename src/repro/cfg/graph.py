@@ -313,6 +313,7 @@ class GraphModule:
         state.pop("_compiled_cache", None)
         state.pop("_lowered_cache", None)
         state.pop("_codegen_cache", None)
+        state.pop("_lanes_cache", None)
         return state
 
     def __repr__(self) -> str:

@@ -23,6 +23,7 @@ import argparse
 import random
 import re
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.chaining.coverage import analyze_coverage
@@ -388,7 +389,13 @@ def cmd_cache(args, out) -> int:
               f"({diskcache.CACHE_ENV_VAR}={diskcache.DISABLE_VALUE})",
               file=out)
         return 0
-    cache = diskcache.DiskCache(root)
+    # Reuse the live process-wide handle when it covers the same root so
+    # ``cache show`` reports the counters this process actually
+    # accumulated (hits/misses of simulations run earlier in the same
+    # invocation); a fresh handle would always read zero.
+    cache = diskcache.get_cache()
+    if cache is None or cache.root != Path(root):
+        cache = diskcache.DiskCache(root)
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
@@ -406,15 +413,28 @@ def cmd_cache(args, out) -> int:
         total_bytes += size
     print(f"cache directory: {root}", file=out)
     print(f"format version:  v{diskcache.FORMAT_VERSION}", file=out)
-    if not by_kind:
+    if by_kind:
+        for kind in sorted(by_kind):
+            count, kind_bytes = by_kind[kind]
+            print(f"  {kind:10s} {count:5d} entries, "
+                  f"{kind_bytes / 1024:.1f} KiB", file=out)
+        print(f"  {'total':10s} {sum(c for c, _ in by_kind.values()):5d} "
+              f"entries, {total_bytes / 1024:.1f} KiB", file=out)
+    else:
         print("entries:         none", file=out)
-        return 0
-    for kind in sorted(by_kind):
-        count, kind_bytes = by_kind[kind]
-        print(f"  {kind:10s} {count:5d} entries, "
-              f"{kind_bytes / 1024:.1f} KiB", file=out)
-    print(f"  {'total':10s} {sum(c for c, _ in by_kind.values()):5d} "
-          f"entries, {total_bytes / 1024:.1f} KiB", file=out)
+    counter_kinds = sorted(set(cache.hits) | set(cache.misses)
+                           | set(cache.stores) | set(cache.corrupt))
+    if counter_kinds:
+        print("this process:", file=out)
+        for kind in counter_kinds:
+            line = (f"  {kind:10s} {cache.hits[kind]} hits, "
+                    f"{cache.misses[kind]} misses, "
+                    f"{cache.stores[kind]} stores")
+            if cache.corrupt[kind]:
+                line += f", {cache.corrupt[kind]} corrupt"
+            print(line, file=out)
+    else:
+        print("this process:    no cache traffic yet", file=out)
     return 0
 
 

@@ -6,11 +6,19 @@ is estimate-then-measure for *one* benchmark and *one* area budget;
 this module schedules the whole matrix as dependency tasks on the same
 persistent pool the study executor uses:
 
-* one **base task** per benchmark — optimize at the study level,
-  profile on the primary seed, detect sequences, build the
-  budget-agnostic candidate pool, re-sequentialize, and simulate the
-  unchained base processor on every seed.  This is the part every
-  budget of a benchmark shares, so it runs exactly once;
+* one **base task** per benchmark — optimize at the study level, run
+  *one* simulation batch over every seed (lane-parallel past the shard
+  threshold), detect sequences on the primary seed's profile, build the
+  budget-agnostic candidate pool, and re-sequentialize.  The unchained
+  single-issue base results are *derived* from that batch rather than
+  simulated again: re-sequentialization preserves semantics (outputs
+  are shared — and still independently guarded by the fused-vs-base
+  check inside every evaluation), and the chain expansion recorded by
+  :func:`~repro.asip.resequence.resequence_module_mapped` determines
+  the sequential node counts, hence the exact single-issue cycle
+  count, from the VLIW profile.  This is the part every budget of a
+  benchmark shares, so it runs exactly once — and it is one simulation
+  per seed, not two (nor the former batch-plus-primary-profile run);
 * one **measurement task** per (benchmark, budget) cell — gated on the
   benchmark's base task, whose result arrives as a bound argument the
   moment it completes.  The cell re-derives its finalist subsets with
@@ -47,23 +55,59 @@ from repro.asip.evaluate import (AsipEvaluation, evaluate_on_sequential,
 from repro.asip.explore import (DesignPoint, ExplorationResult, _isa_for,
                                 candidate_pool, rank_candidates,
                                 select_finalists)
-from repro.asip.resequence import resequence_module
+from repro.asip.resequence import resequence_module_mapped
 from repro.chaining.detect import detect_sequences
+from repro.errors import SimulationError
 from repro.exec.pool import next_epoch, sync_epoch, worker_cached
 from repro.exec.scheduler import Task, run_tasks
 from repro.exec.study import _optimized_cell, shard_seeds
 from repro.opt.pipeline import OptLevel
-from repro.sim.machine import run_module, run_module_batch
+from repro.sim.machine import MachineResult, run_module_batch_auto
+from repro.sim.profile import ProfileData
 from repro.suite.registry import get_benchmark
 
 def _sequential_module(name: str, level: int, unroll_factor: int):
-    """The benchmark's re-sequentialized optimized module, memoized per
-    process (the base-processor program every finalist is measured
-    against; shares the study executor's per-worker optimize memo)."""
+    """The benchmark's re-sequentialized optimized module plus its node
+    expansion map, memoized per process (the base-processor program
+    every finalist is measured against; shares the study executor's
+    per-worker optimize memo)."""
     def build():
         graph_module, _report = _optimized_cell(name, level, unroll_factor)
-        return resequence_module(graph_module)
+        return resequence_module_mapped(graph_module)
     return worker_cached(("sequential", name, level, unroll_factor), build)
+
+
+def _derived_base_result(graph_result: MachineResult, mapping,
+                         entry_name: str,
+                         max_cycles: int = 200_000_000) -> MachineResult:
+    """One seed's single-issue base result, derived from its VLIW run.
+
+    Outputs and return value carry over unchanged (re-sequentialization
+    preserves semantics; every evaluation's fused-vs-base check still
+    guards this independently).  Node counts expand through the chain
+    map — each sequential node executes exactly as often as the
+    original node it was split from — giving the exact cycle count the
+    sequential simulation would have measured.  Edge counts are left
+    empty: nothing downstream of the base result reads them.
+    """
+    profile = ProfileData()
+    for fn, counts in graph_result.profile.node_counts.items():
+        chain_map = mapping.get(fn)
+        if not chain_map:
+            continue
+        seq_counts: dict = {}
+        for nid, count in counts.items():
+            for snid in chain_map.get(nid, ()):
+                seq_counts[snid] = count
+        if seq_counts:
+            profile.node_counts[fn] = seq_counts
+    profile.call_counts = dict(graph_result.profile.call_counts)
+    if profile.total_cycles() > max_cycles:
+        raise SimulationError(
+            f"cycle limit ({max_cycles}) exceeded; "
+            f"infinite loop in {entry_name!r}?")
+    return MachineResult(graph_result.return_value,
+                         graph_result.globals_after, profile)
 
 
 def _explore_base(name: str, level: int, lengths: Tuple[int, ...],
@@ -76,23 +120,25 @@ def _explore_base(name: str, level: int, lengths: Tuple[int, ...],
     Returns ``(candidate pool, per-seed base-processor results)`` —
     everything a budget cell cannot cheaply re-derive.  Profiling and
     sequence detection use the primary seed, exactly like the study
-    matrix and the per-benchmark loop.
+    matrix and the per-benchmark loop; all seeds ride one batch of the
+    optimized graph (lane-parallel past the shard threshold) and the
+    sequential base results are derived from it, one simulation per
+    seed total.
     """
     sync_epoch(epoch)
     spec = get_benchmark(name)
     graph_module, _report = _optimized_cell(name, level, unroll_factor)
-    primary = seeds[0] if seeds else seed
-    inputs = spec.generate_inputs(primary)
-    profile = run_module(graph_module, inputs, engine=engine).profile
-    detection = detect_sequences(graph_module, profile, lengths)
+    seed_list = seeds if seeds else (seed,)
+    graph_results = run_module_batch_auto(
+        graph_module, [spec.generate_inputs(s) for s in seed_list],
+        engine=engine)
+    detection = detect_sequences(graph_module, graph_results[0].profile,
+                                 lengths)
     pool = candidate_pool(detection, DEFAULT_COST_MODEL)
-    sequential = _sequential_module(name, level, unroll_factor)
-    if seeds:
-        base_results = tuple(run_module_batch(
-            sequential, [spec.generate_inputs(s) for s in seeds],
-            engine=engine))
-    else:
-        base_results = (run_module(sequential, inputs, engine=engine),)
+    _sequential, mapping = _sequential_module(name, level, unroll_factor)
+    base_results = tuple(
+        _derived_base_result(result, mapping, graph_module.entry.name)
+        for result in graph_results)
     return pool, base_results
 
 
@@ -115,7 +161,7 @@ def _measure_cell(name: str, level: int, budget: int,
     if not candidates:
         return ()
     combos = select_finalists(candidates, budget, measure_top)
-    sequential = _sequential_module(name, level, unroll_factor)
+    sequential, _mapping = _sequential_module(name, level, unroll_factor)
     spec = get_benchmark(name)
     cost = DEFAULT_COST_MODEL
     # Input sets are combo-invariant: generate them once per cell, not

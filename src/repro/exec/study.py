@@ -45,7 +45,7 @@ from repro.ir.module import Module
 from repro.opt.pipeline import OptLevel, optimize_module
 from repro.exec.pool import next_epoch, sync_epoch, worker_cached
 from repro.exec.scheduler import Task, run_tasks
-from repro.sim.machine import MachineResult, run_module_batch
+from repro.sim.machine import MachineResult, run_module_batch_auto
 from repro.suite.registry import get_benchmark
 from repro.suite.runner import (BenchmarkRun, compile_benchmark,
                                 run_benchmark, verify_semantics)
@@ -112,7 +112,7 @@ def _run_seed_shard(name: str, level: int, seeds: Tuple[int, ...],
     sync_epoch(epoch)
     spec = get_benchmark(name)
     graph_module, _report = _optimized_cell(name, level, unroll_factor)
-    results = run_module_batch(
+    results = run_module_batch_auto(
         graph_module, [spec.generate_inputs(s) for s in seeds],
         engine=engine)
     if reference is not None:

@@ -14,8 +14,10 @@ a canonical serialization of everything the lowered form depends on —
 graph names, entry nodes, parameters, local arrays, node ids, successor
 lists, and every instruction's opcode and operands — deliberately
 *excluding* process-local instruction uids, so two processes compiling
-the same source reach the same key.  The engine kind ("bytecode" /
-"codegen"), the cache :data:`FORMAT_VERSION` and the interpreter's
+the same source reach the same key.  The engine kind ("bytecode" / "codegen" / "lanes" —
+lane entries additionally suffix the digest with the lane count, since
+their generated source is width-specialized), the cache
+:data:`FORMAT_VERSION` and the interpreter's
 ``cache_tag`` (the codegen entry embeds a marshalled code object, which
 is CPython-version-specific) all partition the namespace: any mismatch
 is a plain miss, never a crash.
@@ -86,8 +88,8 @@ def _source_token() -> str:
     if _source_token_cache is None:
         h = hashlib.sha256()
         try:
-            from repro.sim import bytecode, codegen, engine
-            for mod in (engine, bytecode, codegen):
+            from repro.sim import bytecode, codegen, engine, lanes
+            for mod in (engine, bytecode, codegen, lanes):
                 with open(mod.__file__, "rb") as fh:
                     h.update(fh.read())
             _source_token_cache = h.hexdigest()[:12]
@@ -202,7 +204,8 @@ class DiskCache:
 
     ``hits`` / ``misses`` / ``stores`` / ``corrupt`` are
     :class:`collections.Counter` objects keyed by entry kind
-    (``"bytecode"`` / ``"codegen"``); tests and the exploration
+    (``"bytecode"`` / ``"codegen"`` / ``"lanes"``); tests and the
+    exploration
     benchmarks read them to assert that warm runs actually skipped
     lowering and generation.
     """

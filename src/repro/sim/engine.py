@@ -1936,17 +1936,37 @@ class CompiledEngine:
         profile counters folded into a fresh :class:`ProfileData` via
         :meth:`ProfileData.merge_arrays` — so the results are bit-identical
         to N independent :func:`~repro.sim.machine.run_module` calls.
+
+        The per-element initializer conversion (``int()``/``float()``
+        per entry, in :meth:`ArrayStorage.__init__`) is identical for
+        every seed, so it runs once here and each seed's storages are
+        filled from the converted snapshot.
         """
-        return [self.run(inputs) for inputs in inputs_list]
+        module = self.module
+        template = [
+            (name, symbol,
+             ArrayStorage(symbol, module.array_initializers.get(name)).data)
+            for name, symbol in module.global_arrays.items()]
+        return [self._run(inputs, template) for inputs in inputs_list]
 
     def run(self, inputs: Optional[Dict[str, Sequence]] = None
             ) -> MachineResult:
         """Execute ``main`` with globals bound to *inputs*."""
+        return self._run(inputs, None)
+
+    def _run(self, inputs: Optional[Dict[str, Sequence]],
+             template) -> MachineResult:
         module = self.module
         globals_: Dict[str, ArrayStorage] = {}
-        for name, symbol in module.global_arrays.items():
-            init = module.array_initializers.get(name)
-            globals_[name] = ArrayStorage(symbol, init)
+        if template is None:
+            for name, symbol in module.global_arrays.items():
+                init = module.array_initializers.get(name)
+                globals_[name] = ArrayStorage(symbol, init)
+        else:
+            for name, symbol, data in template:
+                storage = ArrayStorage(symbol)
+                storage.data[:] = data
+                globals_[name] = storage
         if inputs:
             for name, values in inputs.items():
                 if name not in globals_:

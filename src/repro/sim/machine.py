@@ -319,10 +319,12 @@ class GraphInterpreter:
 #: lowers the compiled graphs further to flat opcode/operand arrays run by
 #: one dispatch loop (:mod:`repro.sim.bytecode`); ``"codegen"`` walks the
 #: lowered words and exec-compiles specialized Python source per graph
-#: (:mod:`repro.sim.codegen`); ``"reference"`` is the tree-walking
+#: (:mod:`repro.sim.codegen`); ``"lanes"`` exec-compiles a lane-parallel
+#: form that executes every seed of a batch in one pass
+#: (:mod:`repro.sim.lanes`); ``"reference"`` is the tree-walking
 #: :class:`GraphInterpreter`, kept as the semantic oracle the other
 #: engines are differentially tested against.
-ENGINES = ("compiled", "bytecode", "codegen", "reference")
+ENGINES = ("compiled", "bytecode", "codegen", "lanes", "reference")
 
 #: Environment variable overriding the default engine (CI runs the whole
 #: tier-1 suite under ``REPRO_ENGINE=bytecode``).
@@ -389,6 +391,9 @@ def run_module(module: GraphModule,
     if engine == "codegen":
         from repro.sim.codegen import CodegenEngine
         return CodegenEngine(module, max_cycles).run(inputs)
+    if engine == "lanes":
+        from repro.sim.lanes import LaneEngine
+        return LaneEngine(module, max_cycles).run(inputs)
     if engine == "reference":
         return GraphInterpreter(module, max_cycles).run(inputs)
     raise _unknown_engine(engine)
@@ -415,7 +420,37 @@ def run_module_batch(module: GraphModule,
     if engine == "codegen":
         from repro.sim.codegen import CodegenEngine
         return CodegenEngine(module, max_cycles).run_batch(inputs_list)
+    if engine == "lanes":
+        from repro.sim.lanes import LaneEngine
+        return LaneEngine(module, max_cycles).run_batch(inputs_list)
     if engine == "reference":
         return [GraphInterpreter(module, max_cycles).run(inputs)
                 for inputs in inputs_list]
     raise _unknown_engine(engine)
+
+
+#: Batch size at which :func:`run_module_batch_auto` upgrades a per-seed
+#: engine to one lane-parallel pass.  Below this the lane emitter's
+#: width-specialized compile is not reliably amortized.
+LANE_SHARD_MIN = 8
+
+
+def run_module_batch_auto(module: GraphModule,
+                          inputs_list:
+                          Sequence[Optional[Dict[str, Sequence]]],
+                          max_cycles: int = 200_000_000,
+                          engine: str = DEFAULT_ENGINE
+                          ) -> List[MachineResult]:
+    """:func:`run_module_batch`, preferring one lane call on big shards.
+
+    Batches of at least :data:`LANE_SHARD_MIN` seeds on a per-seed
+    engine (compiled/bytecode/codegen) are executed as a single
+    lane-parallel pass instead — bit-identical results (every engine
+    agrees), integer-factor faster.  An explicit ``engine="lanes"``
+    stays lanes at any size, and ``"reference"`` is never upgraded: the
+    oracle must keep measuring what it is asked to measure.
+    """
+    if len(inputs_list) >= LANE_SHARD_MIN and \
+            engine in ("compiled", "bytecode", "codegen"):
+        engine = "lanes"
+    return run_module_batch(module, inputs_list, max_cycles, engine)

@@ -140,7 +140,7 @@ class TestResequenceCorners:
         g.add_edge(n_branch.id, n_false.id)
         g.entry = n_init.id
 
-        flat = _resequence_graph(g)
+        flat, _ = _resequence_graph(g)
         from repro.cfg.graph import GraphModule
         gm = GraphModule("m", {"main": flat}, {}, {}, {})
         result = run_module(gm)
@@ -172,7 +172,7 @@ class TestResequenceCorners:
         expected = run_module(gm)
         assert expected.return_value == 20  # a becomes old b
 
-        flat = _resequence_graph(g)
+        flat, _ = _resequence_graph(g)
         gm_flat = GraphModule("m", {"main": flat}, {}, {}, {})
         assert run_module(gm_flat).return_value == 20
 

@@ -27,10 +27,10 @@ class TestParser:
         args = build_parser().parse_args(["study", "--levels", "2,0,0"])
         assert args.levels == (0, 2)
 
-    def test_engine_choices_cover_all_four_tiers(self):
+    def test_engine_choices_cover_all_five_tiers(self):
         from repro.sim.machine import ENGINES
         assert set(ENGINES) == {"compiled", "bytecode", "codegen",
-                                "reference"}
+                                "lanes", "reference"}
         for engine in ENGINES:
             args = build_parser().parse_args(
                 ["study", "--engine", engine])

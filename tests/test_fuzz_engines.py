@@ -1,6 +1,6 @@
-"""Property-based differential fuzzing of the four simulation engines.
+"""Property-based differential fuzzing of the five simulation engines.
 
-With four engines that must stay bit-identical, per-PR hand-written
+With five engines that must stay bit-identical, per-PR hand-written
 differential tests stop scaling; this harness is the standing
 equivalence oracle.  A seeded generator emits random mini-C programs
 mixing the shapes the engines specialize on — arithmetic (including the
@@ -8,9 +8,15 @@ C-truncation division/modulo and shifts), memory traffic, branches,
 nested loops and function calls — compiles each at optimization levels
 0/1/2 (so post-opt graphs with compaction, percolation and pipelining
 run too), and asserts that the reference interpreter, the compiled
-closure engine, the bytecode tier and the exec-compiled codegen tier
-produce identical outputs, cycle counts and fully resolved profiles.
-Programs that fault must fault *identically* on every engine.
+closure engine, the bytecode tier, the exec-compiled codegen tier and
+the lane-parallel tier produce identical outputs, cycle counts and
+fully resolved profiles.  Programs that fault must fault *identically*
+on every engine.
+
+The lane tier additionally runs every case at batch widths 2, 4 and 9:
+generated programs are closed (no external inputs), so every lane of
+any width must reproduce the single-seed reference outcome —
+per lane, including the fault message when the program traps.
 
 The corpus is bounded for CI and deterministic (``REPRO_FUZZ_SEED``);
 set ``REPRO_FUZZ_CASES`` to widen it locally, e.g.::
@@ -26,12 +32,14 @@ import pytest
 from repro.errors import SimulationError
 from repro.frontend import compile_source
 from repro.opt.pipeline import OptLevel, optimize_module
+from repro.sim.lanes import LaneEngine
 from repro.sim.machine import ENGINES, run_module
 
 #: Cases per CI run; widen locally via the environment.
 CASES = int(os.environ.get("REPRO_FUZZ_CASES", "25"))
 BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "1995"))
 LEVELS = (0, 1, 2)
+LANE_WIDTHS = (2, 4, 9)
 
 
 class ProgramGen:
@@ -233,6 +241,26 @@ def run_one(gm, engine):
     return ("ok", result)
 
 
+def assert_outcome_matches(outcome, reference, ctx):
+    """One engine outcome vs the reference oracle's, faults included."""
+    kind, payload = outcome
+    assert kind == reference[0], (
+        f"{ctx}: {kind} vs reference {reference[0]} ({payload})")
+    if kind == "error":
+        assert payload == reference[1], ctx
+        return
+    expected = reference[1]
+    assert payload.return_value == expected.return_value, ctx
+    assert payload.globals_after == expected.globals_after, ctx
+    assert payload.cycles == expected.cycles, ctx
+    assert payload.profile.node_counts == \
+        expected.profile.node_counts, ctx
+    assert payload.profile.edge_counts == \
+        expected.profile.edge_counts, ctx
+    assert payload.profile.call_counts == \
+        expected.profile.call_counts, ctx
+
+
 @pytest.mark.parametrize("case", range(CASES))
 def test_engines_agree(case):
     source = generate_case(case)
@@ -242,25 +270,27 @@ def test_engines_agree(case):
         outcomes = {engine: run_one(gm, engine) for engine in ENGINES}
         reference = outcomes["reference"]
         for engine in ENGINES:
-            kind, payload = outcomes[engine]
-            assert kind == reference[0], (
-                f"case {case} level {level}: {engine} {kind} vs "
-                f"reference {reference[0]} ({payload})")
-            if kind == "error":
-                assert payload == reference[1], (engine, case, level)
-                continue
-            expected = reference[1]
-            assert payload.return_value == expected.return_value, \
-                (engine, case, level)
-            assert payload.globals_after == expected.globals_after, \
-                (engine, case, level)
-            assert payload.cycles == expected.cycles, (engine, case, level)
-            assert payload.profile.node_counts == \
-                expected.profile.node_counts, (engine, case, level)
-            assert payload.profile.edge_counts == \
-                expected.profile.edge_counts, (engine, case, level)
-            assert payload.profile.call_counts == \
-                expected.profile.call_counts, (engine, case, level)
+            assert_outcome_matches(outcomes[engine], reference,
+                                   f"case {case} level {level}: {engine}")
+
+
+@pytest.mark.parametrize("case", range(CASES))
+def test_lanes_agree_at_every_width(case):
+    """Each lane of a 2/4/9-wide batch reproduces the single-seed
+    reference outcome bit for bit (programs are closed, so all lanes
+    share the one well-defined behavior — including faults)."""
+    source = generate_case(case)
+    module = compile_source(source, f"fuzz{case}", filename=f"fuzz{case}.c")
+    for level in LEVELS:
+        gm, _ = optimize_module(module, OptLevel(level))
+        reference = run_one(gm, "reference")
+        for width in LANE_WIDTHS:
+            outcomes = LaneEngine(gm).run_batch_outcomes([None] * width)
+            assert len(outcomes) == width
+            for lane, outcome in enumerate(outcomes):
+                assert_outcome_matches(
+                    outcome, reference,
+                    f"case {case} level {level} width {width} lane {lane}")
 
 
 def test_generator_is_deterministic():
