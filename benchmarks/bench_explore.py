@@ -22,9 +22,12 @@ are recorded in ``benchmarks/results/bench_explore.json``.
 
 import pytest
 
+from repro.asip.explore import Candidate, select_finalists
 from repro.exec.pool import available_cpus
 from repro.feedback.study import (ExplorationStudyConfig,
-                                  run_exploration_study)
+                                  FrontierStudyConfig,
+                                  run_exploration_study,
+                                  run_frontier_study)
 from repro.opt.pipeline import OptLevel, optimize_module
 from repro.sim import diskcache
 from repro.sim.machine import run_module
@@ -129,3 +132,81 @@ def test_exploration_study_warm_cache(benchmark, warm_cache):
     for name in ("edge", "sewha"):
         for budget in BUDGETS:
             assert study.exploration(name, budget).measured
+
+
+# -- the frontier sweep vs a dense budget grid -------------------------------------
+#
+# The headline numbers of PR 7: a 64-point budget grid answered the old
+# way (one rank+select+measure cycle per cell) vs one frontier sweep
+# per benchmark (every distinct finalist chain set measured exactly
+# once, every budget answered by bisection).  The ratio between the two
+# tests below is the frontier win; the answers are asserted
+# bit-identical inside the frontier leg.
+
+DENSE_NAMES = ("sewha", "dft")
+DENSE_BUDGETS = tuple(range(150, 150 + 64 * 38, 38))  # 64 budgets
+DENSE_CEILING = DENSE_BUDGETS[-1]
+
+
+def _cell_projection(result):
+    return (
+        tuple((c.pattern, c.frequency, c.area, c.cycles_saved)
+              for c in result.candidates),
+        tuple((tuple(p.labels()), p.evaluation.base_cycles,
+               p.evaluation.chained_cycles, p.evaluation.chain_issues)
+              for p in result.measured),
+    )
+
+
+def test_dense_grid_per_budget_study(benchmark):
+    """64 budgets the old way: the denominator of the frontier win."""
+    study = benchmark.pedantic(
+        run_exploration_study,
+        args=(ExplorationStudyConfig(benchmarks=DENSE_NAMES,
+                                     budgets=DENSE_BUDGETS, jobs=1),),
+        rounds=1, iterations=1)
+    for name in DENSE_NAMES:
+        assert study.exploration(name, DENSE_CEILING).measured
+
+
+def test_dense_grid_frontier_sweep(benchmark):
+    """The same 64 budgets from one sweep per benchmark, answered by
+    bisection — and pinned bit-identical to the per-budget study."""
+    grid = run_exploration_study(ExplorationStudyConfig(
+        benchmarks=DENSE_NAMES, budgets=DENSE_BUDGETS, jobs=1))
+    study = benchmark.pedantic(
+        run_frontier_study,
+        args=(FrontierStudyConfig(benchmarks=DENSE_NAMES,
+                                  max_budget=DENSE_CEILING, jobs=1),),
+        rounds=3, iterations=1)
+    for name in DENSE_NAMES:
+        for budget in DENSE_BUDGETS:
+            assert _cell_projection(study.result_at(name, budget)) == \
+                _cell_projection(grid.exploration(name, budget))
+
+
+# -- the finalist enumeration ------------------------------------------------------
+
+
+def _synthetic_candidates(count=12):
+    """A ranked list shaped like a real pool: descending estimate,
+    areas spread so the exhaustive enumeration sees many viable
+    subsets (the worst case the per-call precompute was added for)."""
+    return [
+        Candidate(pattern=("load", "add", f"op{i}"),
+                  frequency=30.0 - i, area=180 + 53 * i,
+                  cycles_saved=2, cycles_accounted=1000 * (count - i))
+        for i in range(count)
+    ]
+
+
+def test_select_finalists_enumeration(benchmark):
+    """The pure enumeration stage: 2^12 subsets per call.  PR 7 hoists
+    the ``estimate``/``area`` property reads out of the subset loops —
+    this leg pins the O(2^n) recompute from creeping back."""
+    candidates = _synthetic_candidates()
+    budget = sum(c.area for c in candidates) // 2
+    combos = benchmark(select_finalists, candidates, budget, 4)
+    assert combos
+    for combo in combos:
+        assert sum(candidates[i].area for i in combo) <= budget

@@ -1,0 +1,118 @@
+"""Benchmark trend checker: fresh results vs the committed baselines.
+
+Diffs freshly generated ``--benchmark-json`` files (pytest-benchmark's
+shape) against the JSON snapshots committed under
+``benchmarks/results/``, matched by benchmark *name* on ``stats.mean``.
+Prints one regression table per file pair and warns on slowdowns past
+the threshold (default 10%).
+
+::
+
+    python benchmarks/trend.py bench_explore.json bench_engine.json
+    python benchmarks/trend.py --baseline-dir benchmarks/results \
+        --threshold 0.25 artifacts/*.json
+
+Exit code 0 always: machine-to-machine variance (CI runners especially)
+makes a hard gate on wall-clock noise-prone, so the table and the
+``WARN`` markers are the product — a reviewer's diffstat for
+performance.  Benchmarks present on only one side are listed but never
+warned about (new legs land without a baseline; retired legs linger in
+old snapshots).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+
+def load_means(path: Path) -> Dict[str, float]:
+    """``{benchmark name: stats.mean seconds}`` from one results file."""
+    with open(path) as fh:
+        data = json.load(fh)
+    return {bench["name"]: bench["stats"]["mean"]
+            for bench in data.get("benchmarks", [])}
+
+
+def compare(baseline: Dict[str, float], fresh: Dict[str, float],
+            threshold: float):
+    """Rows of ``(name, base mean, fresh mean, ratio|None, flag)``.
+
+    ``ratio`` is fresh/base (>1 = slower); ``flag`` is ``"WARN"`` past
+    the threshold, ``"ok"`` otherwise, and ``"new"``/``"gone"`` for
+    one-sided names (never warned).
+    """
+    rows = []
+    for name in sorted(set(baseline) | set(fresh)):
+        base = baseline.get(name)
+        now = fresh.get(name)
+        if base is None:
+            rows.append((name, None, now, None, "new"))
+        elif now is None:
+            rows.append((name, base, None, None, "gone"))
+        else:
+            ratio = now / base if base > 0 else float("inf")
+            flag = "WARN" if ratio > 1.0 + threshold else "ok"
+            rows.append((name, base, now, ratio, flag))
+    return rows
+
+
+def _fmt(seconds: Optional[float]) -> str:
+    return "-" if seconds is None else f"{seconds * 1000:10.2f}ms"
+
+
+def render(rows, threshold: float) -> str:
+    width = max([len(name) for name, *_ in rows] + [30])
+    lines = [f"{'benchmark':{width}s} {'baseline':>12s} {'fresh':>12s} "
+             f"{'ratio':>7s}  flag"]
+    lines.append("-" * len(lines[0]))
+    for name, base, now, ratio, flag in rows:
+        shown = "-" if ratio is None else f"{ratio:6.2f}x"
+        lines.append(f"{name:{width}s} {_fmt(base):>12s} {_fmt(now):>12s} "
+                     f"{shown:>7s}  {flag}")
+    warned = sum(flag == "WARN" for *_, flag in rows)
+    if warned:
+        lines.append(f"\nWARNING: {warned} benchmark"
+                     f"{'s' if warned != 1 else ''} slower than baseline "
+                     f"by more than {threshold:.0%}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff fresh benchmark JSON against committed "
+                    "baselines (warn on >threshold slowdowns)")
+    parser.add_argument("fresh", nargs="+",
+                        help="freshly generated --benchmark-json files")
+    parser.add_argument("--baseline-dir",
+                        default=str(Path(__file__).parent / "results"),
+                        help="directory of committed snapshots "
+                             "(default: %(default)s)")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="warn past this fractional slowdown "
+                             "(default: %(default)s)")
+    args = parser.parse_args(argv)
+
+    baseline_dir = Path(args.baseline_dir)
+    for fresh_path in map(Path, args.fresh):
+        baseline_path = baseline_dir / fresh_path.name
+        print(f"== {fresh_path.name} "
+              f"(baseline: {baseline_path}) ==")
+        if not fresh_path.exists():
+            print(f"   fresh file missing: {fresh_path} (skipped)\n")
+            continue
+        if not baseline_path.exists():
+            print("   no committed baseline yet (skipped)\n")
+            continue
+        rows = compare(load_means(baseline_path), load_means(fresh_path),
+                       args.threshold)
+        print(render(rows, args.threshold))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

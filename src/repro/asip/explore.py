@@ -23,6 +23,7 @@ simulator.
 from __future__ import annotations
 
 import itertools
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -48,6 +49,10 @@ class Candidate:
     frequency: float       # dynamic frequency (%) from the analysis
     area: int
     cycles_saved: int      # per traversal
+    #: Op-slots of execution time the analysis attributed to the pattern
+    #: (the numerator of ``frequency``); cross-benchmark aggregation
+    #: re-weights it by each benchmark's share of suite dynamic ops.
+    cycles_accounted: int = 0
 
     @property
     def estimate(self) -> float:
@@ -132,7 +137,8 @@ def candidate_pool(detection, cost: CostModel) -> List[Candidate]:
         area = cost.chain_area(seq.name)
         if saved <= 0 or freq <= 0.0:
             continue
-        pool.append(Candidate(tuple(seq.name), freq, area, saved))
+        pool.append(Candidate(tuple(seq.name), freq, area, saved,
+                              cycles_accounted=seq.cycles_accounted))
     return pool
 
 
@@ -154,25 +160,28 @@ def select_finalists(candidates: Sequence[Candidate], area_budget: int,
     value-density pick.  Deterministic in its inputs; the returned order
     is the order the measured design points appear in.
     """
+    # ``estimate`` is an uncached property; the exhaustive enumeration
+    # below reads it O(2^n) times per candidate, so both it and the area
+    # are hoisted into plain lists once per call.
+    areas = [c.area for c in candidates]
+    estimates = [c.estimate for c in candidates]
     scored: List[Tuple[float, Tuple[int, ...]]] = []
     indices = range(len(candidates))
     for r in range(1, len(candidates) + 1):
         for combo in itertools.combinations(indices, r):
-            area = sum(candidates[i].area for i in combo)
+            area = sum(areas[i] for i in combo)
             if area > area_budget:
                 continue
-            estimate = sum(candidates[i].estimate for i in combo)
+            estimate = sum(estimates[i] for i in combo)
             scored.append((estimate, combo))
     scored.sort(key=lambda item: (-item[0], item[1]))
 
     greedy: List[int] = []
     remaining = area_budget
-    for i in sorted(indices,
-                    key=lambda i: -candidates[i].estimate
-                    / max(1, candidates[i].area)):
-        if candidates[i].area <= remaining:
+    for i in sorted(indices, key=lambda i: -estimates[i] / max(1, areas[i])):
+        if areas[i] <= remaining:
             greedy.append(i)
-            remaining -= candidates[i].area
+            remaining -= areas[i]
     finalists = {tuple(sorted(greedy))} if greedy else set()
     for _, combo in scored[:measure_top]:
         finalists.add(combo)
@@ -233,3 +242,144 @@ def explore_designs(module: Module,
     for isa, evaluation in measured:
         result.measured.append(DesignPoint(isa=isa, evaluation=evaluation))
     return result
+
+
+# -- the incremental Pareto-frontier sweep ----------------------------------------
+#
+# ``explore-study`` answers one budget per cell by re-running
+# ``rank_candidates``/``select_finalists``.  Both stages are piecewise
+# constant in the budget: the ranked candidate list changes only where
+# the budget crosses a candidate's area, and — with the candidate list
+# fixed — the finalist subsets (exhaustive enumeration *and* the greedy
+# value-density pick) change only where the budget crosses the summed
+# area of some candidate subset.  ``frontier_sweep`` walks those
+# breakpoints once, in increasing-area order, and emits one segment per
+# distinct answer, so *any* budget query is a bisection into the
+# segment list instead of a fresh rank/select/measure pass.
+
+
+@dataclass(frozen=True)
+class FrontierSegment:
+    """One constant piece of the budget → exploration answer function.
+
+    The segment answers every budget in ``[budget, next segment's
+    budget)`` — for all of them, ``rank_candidates`` returns exactly the
+    pool entries named by ``candidate_indices`` (in ranked order) and
+    ``select_finalists`` returns exactly ``combos`` (indices into that
+    ranked list, canonical order).
+    """
+
+    budget: int
+    candidate_indices: Tuple[int, ...]
+    combos: Tuple[Tuple[int, ...], ...]
+
+
+@dataclass
+class Frontier:
+    """The full cost/performance frontier of one candidate pool.
+
+    Segments are sorted by ascending ``budget``; budgets below the first
+    segment afford no candidate and answer as an empty exploration.
+    """
+
+    pool: List[Candidate]
+    max_candidates: int
+    measure_top: int
+    #: Budget ceiling the sweep covered (``None`` = unbounded: queries
+    #: above the last breakpoint hit the final, fully-afforded segment).
+    max_budget: Optional[int]
+    segments: List[FrontierSegment] = field(default_factory=list)
+
+    def breakpoints(self) -> List[int]:
+        return [segment.budget for segment in self.segments]
+
+    def segment_at(self, budget: int) -> Optional[FrontierSegment]:
+        """The segment answering *budget* (``None`` below the first)."""
+        if self.max_budget is not None and budget > self.max_budget:
+            raise AsipError(
+                f"budget {budget} is beyond this frontier's sweep limit "
+                f"({self.max_budget}); re-sweep with a higher max_budget")
+        at = bisect_right([s.budget for s in self.segments], budget) - 1
+        return self.segments[at] if at >= 0 else None
+
+    def candidates_at(self, budget: int) -> List[Candidate]:
+        segment = self.segment_at(budget)
+        if segment is None:
+            return []
+        return [self.pool[i] for i in segment.candidate_indices]
+
+    def segment_patterns(self, segment: FrontierSegment
+                         ) -> List[Tuple[SequenceName, ...]]:
+        """Each finalist combo of *segment* as its chain-pattern tuple."""
+        return [tuple(self.pool[segment.candidate_indices[i]].pattern
+                      for i in combo)
+                for combo in segment.combos]
+
+    def pattern_sets(self) -> List[Tuple[SequenceName, ...]]:
+        """Every distinct finalist chain set on the frontier.
+
+        First-appearance order (segments by ascending budget, combos in
+        canonical order) — the measurement schedule and the reassembly
+        both iterate this list, so the order must be a pure function of
+        the frontier.
+        """
+        seen: Dict[Tuple[SequenceName, ...], None] = {}
+        for segment in self.segments:
+            for patterns in self.segment_patterns(segment):
+                seen.setdefault(patterns, None)
+        return list(seen)
+
+
+def _subset_sums(areas: Sequence[int], lo: int,
+                 hi: Optional[int]) -> List[int]:
+    """Distinct subset-area sums in ``[lo, hi)`` (``hi=None`` = open)."""
+    sums = {0}
+    for area in areas:
+        sums |= {total + area for total in sums}
+    return [total for total in sums
+            if total >= lo and (hi is None or total < hi)]
+
+
+def frontier_sweep(pool: Sequence[Candidate],
+                   max_candidates: int = 8,
+                   measure_top: int = 4,
+                   max_budget: Optional[int] = None) -> Frontier:
+    """Walk the budget axis once; emit every distinct exploration answer.
+
+    The sweep visits the exact budgets where the per-budget answer can
+    change — candidate areas (the ranked list gains an entry) and, per
+    constant-candidate interval, the subset-area sums of that interval's
+    ranked list (an enumerated subset becomes affordable, or the greedy
+    walk's next density-ordered pick starts fitting).  Consecutive
+    breakpoints with identical answers coalesce, so the segment list is
+    the minimal piecewise-constant representation:
+    ``frontier.segment_at(B)`` reproduces ``rank_candidates(pool, B)``
+    and ``select_finalists(..., B, ...)`` bit-identically for every
+    budget ``B`` (pinned by the fuzz leg in ``tests/test_frontier.py``).
+    """
+    pool = list(pool)
+    index_of = {id(candidate): i for i, candidate in enumerate(pool)}
+    frontier = Frontier(pool=pool, max_candidates=max_candidates,
+                        measure_top=measure_top, max_budget=max_budget)
+    areas = sorted({c.area for c in pool})
+    if max_budget is not None:
+        areas = [area for area in areas if area <= max_budget]
+    breakpoints = set()
+    for i, area in enumerate(areas):
+        hi = areas[i + 1] if i + 1 < len(areas) else None
+        candidates = rank_candidates(pool, area, max_candidates)
+        breakpoints.add(area)
+        for total in _subset_sums([c.area for c in candidates], area, hi):
+            if max_budget is None or total <= max_budget:
+                breakpoints.add(total)
+    previous = None
+    for budget in sorted(breakpoints):
+        candidates = rank_candidates(pool, budget, max_candidates)
+        combos = tuple(select_finalists(candidates, budget, measure_top))
+        indices = tuple(index_of[id(c)] for c in candidates)
+        if (indices, combos) == previous:
+            continue  # same answer as the previous breakpoint: coalesce
+        previous = (indices, combos)
+        frontier.segments.append(FrontierSegment(
+            budget=budget, candidate_indices=indices, combos=combos))
+    return frontier

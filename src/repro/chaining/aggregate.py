@@ -64,3 +64,84 @@ def combine_results(results: Sequence[Tuple[str, DetectionResult]]
             combined.cycles[key] = (combined.cycles.get(key, 0)
                                     + result.attributed_cycles(seq.name))
     return combined
+
+
+@dataclass
+class FrontierChain:
+    """One chain's suite-wide standing across benchmark frontiers.
+
+    The design-space reading of the paper's §6.1 fold: instead of "how
+    often does this sequence *occur* across the suite", it answers "on
+    how many benchmarks' cost/performance frontiers does this chain
+    actually *pay off*" — with the same dynamic-ops weighting, so a
+    chain winning on long-running benchmarks outranks one winning on
+    tiny stream filters.
+    """
+
+    name: SequenceName
+    #: Benchmarks on whose frontier the chain appears (a winning design
+    #: at some budget includes it), in suite order.
+    benchmarks: List[str] = field(default_factory=list)
+    #: Σ_b cycles_accounted(chain, b) over *all* aggregated benchmarks
+    #: (frontier member or not) — the numerator of the §6.1 frequency.
+    cycles_accounted: int = 0
+    #: Suite dynamic operations (the shared denominator).
+    suite_ops: int = 0
+
+    @property
+    def label(self) -> str:
+        return sequence_label(self.name)
+
+    @property
+    def frontier_count(self) -> int:
+        return len(self.benchmarks)
+
+    @property
+    def combined_frequency(self) -> float:
+        """Suite-wide dynamic frequency (%), §6.1 weighting: every
+        benchmark contributes by its share of suite dynamic ops."""
+        if self.suite_ops == 0:
+            return 0.0
+        return 100.0 * self.cycles_accounted / self.suite_ops
+
+    def reason(self, suite_size: int) -> str:
+        """Human-readable justification for the report row."""
+        benches = ", ".join(self.benchmarks)
+        return (f"on {self.frontier_count} of {suite_size} frontiers "
+                f"({benches}); {self.combined_frequency:.2f}% of suite "
+                f"dynamic ops")
+
+
+def combine_frontier_chains(
+        entries: Sequence[Tuple[str, int, Dict[SequenceName, int],
+                                Sequence[SequenceName]]]
+) -> List[FrontierChain]:
+    """Fold per-benchmark frontiers into the suite-wide chain ranking.
+
+    Each entry is ``(benchmark, total dynamic ops, {chain pattern ->
+    cycles accounted by the analysis}, patterns on the benchmark's
+    frontier)``.  Every chain that made *some* frontier gets one row;
+    its combined frequency sums its accounted cycles over **all**
+    entries (exactly :func:`combine_results`' weighting — a benchmark
+    where the chain is frequent but never wins still contributes
+    weight), while ``benchmarks`` records only true frontier
+    membership.  Sorted most-shared first, then by combined frequency.
+    """
+    suite_ops = sum(total_ops for _, total_ops, _, _ in entries)
+    chains: Dict[SequenceName, FrontierChain] = {}
+    for bench_name, _total_ops, _cycles, frontier in entries:
+        for pattern in frontier:
+            chain = chains.get(tuple(pattern))
+            if chain is None:
+                chain = chains[tuple(pattern)] = FrontierChain(
+                    name=tuple(pattern), suite_ops=suite_ops)
+            chain.benchmarks.append(bench_name)
+    for _bench_name, _total_ops, cycles, _frontier in entries:
+        for pattern, accounted in cycles.items():
+            chain = chains.get(tuple(pattern))
+            if chain is not None:
+                chain.cycles_accounted += accounted
+    rows = list(chains.values())
+    rows.sort(key=lambda c: (-c.frontier_count, -c.combined_frequency,
+                             c.name))
+    return rows

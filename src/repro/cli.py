@@ -9,6 +9,7 @@
     python -m repro ilp                       # ILP characterization (X1)
     python -m repro explore sewha --budget N  # ASIP design space (X2)
     python -m repro explore-study --budgets 1500,2500  # X2, whole suite
+    python -m repro explore-study --frontier  # X2, every budget at once
     python -m repro cache show                # inspect the disk cache
     python -m repro analyze my_kernel.c       # analyze a user kernel
 
@@ -36,7 +37,61 @@ from repro.sim.machine import run_module
 
 
 def _parse_levels(text: str) -> tuple:
-    return tuple(sorted({int(part) for part in text.split(",")}))
+    # Same policy as --seeds/--budgets: empty, malformed and
+    # out-of-range lists are rejected here, at the flag, with the
+    # offending value named — not deep in the study as a generic
+    # ValueError (or, worse, argparse's "invalid value" one-liner).
+    try:
+        levels = tuple(sorted({int(part) for part in text.split(",")
+                               if part.strip()}))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--levels expects comma-separated optimization levels "
+            f"(e.g. 0,1,2), got {text!r}")
+    if not levels:
+        raise argparse.ArgumentTypeError(
+            "--levels is empty: pass at least one optimization level")
+    for level in levels:
+        try:
+            OptLevel(level)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"--levels contains {level}: optimization levels are "
+                f"{', '.join(str(int(l)) for l in OptLevel)}")
+    return levels
+
+
+def _parse_level(text: str) -> int:
+    """A single ``--level`` value, validated at the flag."""
+    try:
+        level = int(text)
+        OptLevel(level)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--level expects one optimization level "
+            f"({', '.join(str(int(l)) for l in OptLevel)}), got {text!r}")
+    return level
+
+
+def _parse_lengths(text: str) -> tuple:
+    # Chain lengths, not levels: any integer >= 2 ("chains have at
+    # least two operations"), deduplicated and sorted like --levels.
+    try:
+        lengths = tuple(sorted({int(part) for part in text.split(",")
+                                if part.strip()}))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--lengths expects comma-separated chain lengths "
+            f"(e.g. 2,3,4,5), got {text!r}")
+    if not lengths:
+        raise argparse.ArgumentTypeError(
+            "--lengths is empty: pass at least one chain length")
+    for length in lengths:
+        if length < 2:
+            raise argparse.ArgumentTypeError(
+                f"--lengths contains {length}: chains have at least "
+                f"two operations")
+    return lengths
 
 
 def _parse_seeds(text: str) -> tuple:
@@ -189,7 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
                              help="ASIP design-space exploration (X2)")
     explore.add_argument("benchmark")
     explore.add_argument("--budget", type=int, default=2500)
-    explore.add_argument("--level", type=int, default=1)
+    explore.add_argument("--level", type=_parse_level, default=1)
     _add_engine_arg(explore)
     _add_jobs_arg(explore)
     _add_cache_arg(explore)
@@ -205,8 +260,18 @@ def build_parser() -> argparse.ArgumentParser:
                                help="comma-separated area budgets "
                                     "explored per benchmark "
                                     "(default: %(default)s)")
-    explore_study.add_argument("--level", type=int, default=1)
+    explore_study.add_argument("--level", type=_parse_level, default=1)
     explore_study.add_argument("--seed", type=int, default=0)
+    explore_study.add_argument("--frontier", action="store_true",
+                               help="sweep the full cost/performance "
+                                    "frontier instead of the --budgets "
+                                    "grid (every budget answered from "
+                                    "one pass per benchmark; prints the "
+                                    "composite Markdown report)")
+    explore_study.add_argument("--max-budget", type=int, default=None,
+                               help="budget ceiling for --frontier "
+                                    "(default: unbounded — the whole "
+                                    "candidate pool is swept)")
     explore_study.add_argument("--json", default=None,
                                help="also write the summary as JSON to "
                                     "this file")
@@ -234,9 +299,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser("analyze", help="analyze a mini-C file")
     analyze.add_argument("file")
-    analyze.add_argument("--level", type=int, default=1)
+    analyze.add_argument("--level", type=_parse_level, default=1)
     analyze.add_argument("--lengths", default="2,3,4,5",
-                         type=_parse_levels)
+                         type=_parse_lengths)
     analyze.add_argument("--seed", type=int, default=0)
     analyze.add_argument("--threshold", type=float, default=4.0,
                          help="coverage threshold percent")
@@ -346,6 +411,8 @@ def cmd_explore_study(args, out) -> int:
                            for part in args.benchmarks.split(",")
                            if part.strip())
         benchmarks = benchmarks or None
+    if args.frontier:
+        return _cmd_frontier_study(args, benchmarks, out)
     config = ExplorationStudyConfig(
         benchmarks=benchmarks, budgets=args.budgets, level=args.level,
         seed=args.seed, seeds=args.seeds,
@@ -375,6 +442,49 @@ def cmd_explore_study(args, out) -> int:
                 "seeds": list(config.seeds) if config.seeds else None,
                 "engine": config.engine},
                 "cells": study.summary_rows()}, fh, indent=2)
+            fh.write("\n")
+        print(f"\nsummary written to {args.json}", file=out)
+    return 0
+
+
+def _cmd_frontier_study(args, benchmarks, out) -> int:
+    from repro.feedback.study import (FrontierStudyConfig,
+                                      run_frontier_study)
+    from repro.reporting.frontier import frontier_report
+    from repro.sim.machine import DEFAULT_ENGINE
+
+    config = FrontierStudyConfig(
+        benchmarks=benchmarks, level=args.level, seed=args.seed,
+        seeds=args.seeds, max_budget=args.max_budget,
+        engine=getattr(args, "engine", DEFAULT_ENGINE), jobs=args.jobs)
+    study = run_frontier_study(
+        config, progress=lambda name, stage:
+        print(f"  {name} @ {stage}", file=out))
+    print(file=out)
+    print(frontier_report(study), file=out)
+    if args.json:
+        import json
+        suite = [{
+            "chain": chain.label,
+            "frontier_count": chain.frontier_count,
+            "benchmarks": list(chain.benchmarks),
+            "combined_frequency": chain.combined_frequency,
+            "reason": chain.reason(len(study.benchmarks)),
+        } for chain in study.suite_chains()]
+        payload = {
+            "config": {
+                "level": config.level, "seed": config.seed,
+                "seeds": list(config.seeds) if config.seeds else None,
+                "max_budget": config.max_budget,
+                "engine": config.engine},
+            "frontiers": {
+                name: {"breakpoints": bench.breakpoints()}
+                for name, bench in study.benchmarks.items()},
+            "cells": study.summary_rows(),
+            "suite_chains": suite,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2)
             fh.write("\n")
         print(f"\nsummary written to {args.json}", file=out)
     return 0
@@ -423,7 +533,8 @@ def cmd_cache(args, out) -> int:
     else:
         print("entries:         none", file=out)
     counter_kinds = sorted(set(cache.hits) | set(cache.misses)
-                           | set(cache.stores) | set(cache.corrupt))
+                           | set(cache.stores) | set(cache.corrupt)
+                           | set(cache.failures))
     if counter_kinds:
         print("this process:", file=out)
         for kind in counter_kinds:
@@ -432,6 +543,9 @@ def cmd_cache(args, out) -> int:
                     f"{cache.stores[kind]} stores")
             if cache.corrupt[kind]:
                 line += f", {cache.corrupt[kind]} corrupt"
+            if cache.failures[kind]:
+                line += (f", {cache.failures[kind]} store "
+                         f"failure{'s' if cache.failures[kind] != 1 else ''}")
             print(line, file=out)
     else:
         print("this process:    no cache traffic yet", file=out)

@@ -53,8 +53,8 @@ from repro.asip.evaluate import (AsipEvaluation, evaluate_on_sequential,
                                  evaluate_on_sequential_batch,
                                  merge_evaluations)
 from repro.asip.explore import (DesignPoint, ExplorationResult, _isa_for,
-                                candidate_pool, rank_candidates,
-                                select_finalists)
+                                candidate_pool, frontier_sweep,
+                                rank_candidates, select_finalists)
 from repro.asip.resequence import resequence_module_mapped
 from repro.chaining.detect import detect_sequences
 from repro.errors import SimulationError
@@ -117,13 +117,14 @@ def _explore_base(name: str, level: int, lengths: Tuple[int, ...],
     """Per-benchmark budget-independent stage (module-level: runs in
     pool workers).
 
-    Returns ``(candidate pool, per-seed base-processor results)`` —
-    everything a budget cell cannot cheaply re-derive.  Profiling and
-    sequence detection use the primary seed, exactly like the study
-    matrix and the per-benchmark loop; all seeds ride one batch of the
-    optimized graph (lane-parallel past the shard threshold) and the
-    sequential base results are derived from it, one simulation per
-    seed total.
+    Returns ``(candidate pool, per-seed base-processor results, total
+    dynamic ops)`` — everything a budget cell cannot cheaply re-derive,
+    plus the benchmark's share of suite execution the cross-benchmark
+    aggregation weights by.  Profiling and sequence detection use the
+    primary seed, exactly like the study matrix and the per-benchmark
+    loop; all seeds ride one batch of the optimized graph
+    (lane-parallel past the shard threshold) and the sequential base
+    results are derived from it, one simulation per seed total.
     """
     sync_epoch(epoch)
     spec = get_benchmark(name)
@@ -139,7 +140,44 @@ def _explore_base(name: str, level: int, lengths: Tuple[int, ...],
     base_results = tuple(
         _derived_base_result(result, mapping, graph_module.entry.name)
         for result in graph_results)
-    return pool, base_results
+    return pool, base_results, detection.total_ops
+
+
+def _measure_pattern_sets(name: str, level: int,
+                          shard: Optional[Tuple[int, ...]], seed: int,
+                          unroll_factor: int, engine: str,
+                          pattern_sets: Sequence[Tuple], base_results
+                          ) -> Tuple:
+    """Measure each chain set of *pattern_sets* on one seed slice.
+
+    The shared measurement kernel of both executor shapes: a budget
+    cell measures its finalist subsets, a frontier chunk measures its
+    slice of the deduplicated breakpoint chain sets — same inputs, same
+    base results, same ``(isa, per-seed evaluations)`` tuples out, in
+    the order given.
+    """
+    sequential, _mapping = _sequential_module(name, level, unroll_factor)
+    spec = get_benchmark(name)
+    cost = DEFAULT_COST_MODEL
+    # Input sets are chain-set-invariant: generate them once per task,
+    # not once per finalist (the serial loop shares one inputs dict too).
+    if shard is None:
+        inputs = spec.generate_inputs(seed)
+    else:
+        inputs_list = [spec.generate_inputs(s) for s in shard]
+    measured = []
+    for patterns in pattern_sets:
+        isa = _isa_for(patterns, cost)
+        if shard is None:
+            evals: Tuple[AsipEvaluation, ...] = (evaluate_on_sequential(
+                sequential, isa, inputs, cost,
+                base_result=base_results[0], engine=engine),)
+        else:
+            evals = evaluate_on_sequential_batch(
+                sequential, isa, inputs_list, cost,
+                base_results=base_results, engine=engine)
+        measured.append((isa, evals))
+    return tuple(measured)
 
 
 def _measure_cell(name: str, level: int, budget: int,
@@ -161,29 +199,10 @@ def _measure_cell(name: str, level: int, budget: int,
     if not candidates:
         return ()
     combos = select_finalists(candidates, budget, measure_top)
-    sequential, _mapping = _sequential_module(name, level, unroll_factor)
-    spec = get_benchmark(name)
-    cost = DEFAULT_COST_MODEL
-    # Input sets are combo-invariant: generate them once per cell, not
-    # once per finalist (the serial loop shares one inputs dict too).
-    if shard is None:
-        inputs = spec.generate_inputs(seed)
-    else:
-        inputs_list = [spec.generate_inputs(s) for s in shard]
-    measured = []
-    for combo in combos:
-        patterns = tuple(candidates[i].pattern for i in combo)
-        isa = _isa_for(patterns, cost)
-        if shard is None:
-            evals: Tuple[AsipEvaluation, ...] = (evaluate_on_sequential(
-                sequential, isa, inputs, cost,
-                base_result=base_results[0], engine=engine),)
-        else:
-            evals = evaluate_on_sequential_batch(
-                sequential, isa, inputs_list, cost,
-                base_results=base_results, engine=engine)
-        measured.append((isa, evals))
-    return tuple(measured)
+    pattern_sets = [tuple(candidates[i].pattern for i in combo)
+                    for combo in combos]
+    return _measure_pattern_sets(name, level, shard, seed, unroll_factor,
+                                 engine, pattern_sets, base_results)
 
 
 def _shard_bounds(shards: List[Optional[Tuple[int, ...]]]
@@ -224,7 +243,7 @@ def build_exploration_schedule(config, names: Sequence[str], jobs: int = 1,
         for budget in budgets:
             for j, shard in enumerate(shards):
                 def bind(args, results, _dep=base_key, _b=bounds[j]):
-                    pool, base_results = results[_dep]
+                    pool, base_results, _total_ops = results[_dep]
                     lo, hi = _b
                     sliced = base_results[lo:] if hi is None \
                         else base_results[lo:hi]
@@ -272,7 +291,7 @@ def execute_exploration_study(config, jobs: int,
 
     result = ExplorationStudyResult(config=config)
     for name in names:
-        pool, _base_results = cells[("base", name)]
+        pool, _base_results, _total_ops = cells[("base", name)]
         for budget in budgets:
             candidates = rank_candidates(pool, budget,
                                          config.max_candidates)
@@ -289,4 +308,174 @@ def execute_exploration_study(config, jobs: int,
                     exploration.measured.append(
                         DesignPoint(isa=isa, evaluation=evaluation))
             result.explorations[(name, budget)] = exploration
+    return result
+
+
+# -- the frontier sweep as an executor stage ---------------------------------------
+#
+# :func:`repro.feedback.study.run_frontier_study` lands here.  Instead
+# of one measurement task per (budget, shard) cell, each benchmark gets
+# one *frontier task* — gated on the same base task — that walks the
+# candidate pool once (:func:`~repro.asip.explore.frontier_sweep`), and
+# the deduplicated breakpoint chain sets fan out as measurement chunks:
+# every distinct chain set on the frontier is measured exactly once per
+# seed shard, however many budgets it answers.
+
+
+def _frontier_stage(max_candidates: int, measure_top: int,
+                    max_budget: Optional[int], epoch: Optional[int] = None,
+                    base=None):
+    """One benchmark's breakpoint sweep (module-level: runs in pool
+    workers).  ``base`` is bound by the scheduler from the base task."""
+    sync_epoch(epoch)
+    pool, _base_results, _total_ops = base
+    return frontier_sweep(pool, max_candidates=max_candidates,
+                          measure_top=measure_top, max_budget=max_budget)
+
+
+def _measure_frontier_chunk(name: str, level: int,
+                            shard: Optional[Tuple[int, ...]], seed: int,
+                            unroll_factor: int, engine: str,
+                            epoch: Optional[int] = None,
+                            work=None) -> Tuple:
+    """Measure one chunk of a benchmark's frontier chain sets on this
+    task's seed slice (module-level: runs in pool workers).
+
+    ``work`` is bound by the scheduler: this chunk's slice of the
+    frontier's deduplicated chain sets plus the base-processor results
+    for exactly this shard's seeds.  Empty chunks (fewer chain sets
+    than chunks) return ``()``.
+    """
+    sync_epoch(epoch)
+    pattern_sets, base_results = work
+    if not pattern_sets:
+        return ()
+    return _measure_pattern_sets(name, level, shard, seed, unroll_factor,
+                                 engine, pattern_sets, base_results)
+
+
+def _chunk_bounds(count: int, chunks: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` slices splitting *count* items into
+    *chunks* parts (trailing chunks may be empty); deterministic in its
+    arguments, like :func:`repro.exec.study.shard_seeds`."""
+    base, rem = divmod(count, chunks)
+    bounds = []
+    at = 0
+    for i in range(chunks):
+        size = base + (1 if i < rem else 0)
+        bounds.append((at, at + size))
+        at += size
+    return bounds
+
+
+def build_frontier_schedule(config, names: Sequence[str], jobs: int = 1,
+                            epoch: Optional[int] = None) -> List[Task]:
+    """The task DAG for one frontier study (importable for tests).
+
+    Per benchmark: the shared base task, one frontier task depending on
+    it, and ``chunks × shards`` measurement tasks depending on both.
+    ``jobs`` informs seed sharding and the chunk count only — the
+    schedule is valid on any worker count, and reassembly in canonical
+    (benchmark, chunk, shard) order keeps every ``jobs`` value
+    bit-identical.
+    """
+    names = list(dict.fromkeys(names))
+    shards = shard_seeds(config.seeds, jobs)
+    bounds = _shard_bounds(shards)
+    chunks = max(1, jobs)
+    level = int(OptLevel(config.level))
+    tasks: List[Task] = []
+    for name in names:
+        base_key: Hashable = ("base", name)
+        frontier_key: Hashable = ("frontier", name)
+        tasks.append(Task(
+            key=base_key, fn=_explore_base,
+            args=(name, level, config.lengths, config.seed, config.seeds,
+                  config.unroll_factor, config.engine, epoch),
+            affinity=name))
+        tasks.append(Task(
+            key=frontier_key, fn=_frontier_stage,
+            args=(config.max_candidates, config.measure_top,
+                  config.max_budget, epoch),
+            deps=(base_key,),
+            bind=lambda args, results, _dep=base_key:
+                args + (results[_dep],),
+            affinity=name))
+        for c in range(chunks):
+            for j, shard in enumerate(shards):
+                def bind(args, results, _base=base_key,
+                         _frontier=frontier_key, _c=c, _b=bounds[j]):
+                    _pool, base_results, _total_ops = results[_base]
+                    pattern_sets = results[_frontier].pattern_sets()
+                    lo, hi = _chunk_bounds(len(pattern_sets), chunks)[_c]
+                    slo, shi = _b
+                    sliced = base_results[slo:] if shi is None \
+                        else base_results[slo:shi]
+                    return args + ((pattern_sets[lo:hi], sliced),)
+                tasks.append(Task(
+                    key=("fchunk", name, c, j), fn=_measure_frontier_chunk,
+                    args=(name, level, shard, config.seed,
+                          config.unroll_factor, config.engine, epoch),
+                    deps=(base_key, frontier_key), bind=bind,
+                    affinity=name))
+    return tasks
+
+
+def execute_frontier_study(config, jobs: int,
+                           progress: Optional[
+                               Callable[[str, str], None]] = None):
+    """Run one frontier sweep + breakpoint measurements per benchmark
+    on *jobs* workers; see :func:`repro.feedback.study.
+    run_frontier_study` for the public entry point."""
+    from repro.feedback.study import BenchmarkFrontier, FrontierResult
+    from repro.suite.registry import all_benchmarks
+
+    names = (list(dict.fromkeys(config.benchmarks))
+             if config.benchmarks is not None
+             else [spec.name for spec in all_benchmarks()])
+    for name in names:  # fail on unknown names before any worker spawns
+        get_benchmark(name)
+
+    on_start = None
+    if progress is not None:
+        def on_start(key):
+            if key[0] == "base":
+                progress(key[1], "base")
+            elif key[0] == "frontier":
+                progress(key[1], "frontier")
+            elif key[2] == 0 and key[3] == 0:  # chunks/shards: internal
+                progress(key[1], "measure")
+
+    shards = shard_seeds(config.seeds, jobs)
+    chunks = max(1, jobs)
+    cells = run_tasks(
+        build_frontier_schedule(config, names, jobs=jobs,
+                                epoch=next_epoch()),
+        jobs=jobs, on_start=on_start)
+
+    result = FrontierResult(config=config)
+    for name in names:
+        _pool, _base_results, total_ops = cells[("base", name)]
+        frontier = cells[("frontier", name)]
+        pattern_sets = frontier.pattern_sets()
+        # Chunks concatenate back into pattern_sets order; each chain
+        # set's per-shard evaluations concatenate in seed order before
+        # folding — exactly the budget-cell reassembly, per chain set.
+        designs = {}
+        at = 0
+        for c in range(chunks):
+            shard_cells = [cells[("fchunk", name, c, j)]
+                           for j in range(len(shards))]
+            for i, (isa, first_evals) in enumerate(shard_cells[0]):
+                evals = list(first_evals)
+                for cell in shard_cells[1:]:
+                    evals.extend(cell[i][1])
+                evaluation = merge_evaluations(tuple(evals)) \
+                    if config.seeds else evals[0]
+                designs[pattern_sets[at + i]] = DesignPoint(
+                    isa=isa, evaluation=evaluation)
+            at += len(shard_cells[0])
+        result.benchmarks[name] = BenchmarkFrontier(
+            name=name, frontier=frontier, designs=designs,
+            total_ops=total_ops)
     return result

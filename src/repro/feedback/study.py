@@ -19,7 +19,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.chaining.aggregate import CombinedSequences, combine_results
+from repro.chaining.aggregate import (CombinedSequences, FrontierChain,
+                                      combine_frontier_chains,
+                                      combine_results)
 from repro.chaining.coverage import CoverageReport, analyze_coverage
 from repro.chaining.detect import DEFAULT_LENGTHS, DetectionResult
 from repro.errors import ReproError
@@ -171,6 +173,143 @@ class ExplorationStudyResult:
         return rows
 
 
+@dataclass(frozen=True)
+class FrontierStudyConfig:
+    """Knobs of one suite-wide incremental frontier sweep.
+
+    The frontier counterpart of :class:`ExplorationStudyConfig`: no
+    budget grid — one sweep per benchmark answers *every* budget (up to
+    ``max_budget``, when set) — otherwise the same knobs with the same
+    defaults, so a frontier study and a budget study over the same
+    configuration answer identically on shared budgets.
+    """
+
+    benchmarks: Optional[Tuple[str, ...]] = None  # None = whole suite
+    #: Optimization level the exploration compiles at.
+    level: int = 1
+    #: Sequence lengths considered for chaining.
+    lengths: Tuple[int, ...] = (2, 3)
+    seed: int = 0
+    #: Input seeds every design point is measured on (see
+    #: :class:`ExplorationStudyConfig.seeds`).
+    seeds: Optional[Tuple[int, ...]] = None
+    unroll_factor: int = 2
+    max_candidates: int = 8
+    measure_top: int = 4
+    #: Budget ceiling for the sweep.  ``None`` walks the whole pool, so
+    #: any budget is answerable; a ceiling caps the breakpoint count
+    #: (and the measurement work) when only a budget range matters —
+    #: queries beyond it raise instead of answering wrong.
+    max_budget: Optional[int] = None
+    engine: str = DEFAULT_ENGINE
+    #: Worker processes (``None`` defers to ``$REPRO_JOBS``, ``0`` = all
+    #: cores; any value bit-identical).
+    jobs: Optional[int] = None
+
+
+@dataclass
+class BenchmarkFrontier:
+    """One benchmark's swept frontier plus its measured breakpoints."""
+
+    name: str
+    frontier: "Frontier"
+    #: Deduplicated finalist chain set -> its measured design point
+    #: (covers every combo of every segment).
+    designs: Dict[Tuple, "DesignPoint"] = field(default_factory=dict)
+    #: The benchmark's dynamic operation count — its weight in the
+    #: suite-wide aggregation.
+    total_ops: int = 0
+
+    def breakpoints(self) -> List[int]:
+        return self.frontier.breakpoints()
+
+    def result_at(self, budget: int) -> "ExplorationResult":
+        """The exact :class:`~repro.asip.explore.ExplorationResult` a
+        per-budget exploration of *budget* would produce, answered by
+        bisection into the swept segments."""
+        from repro.asip.explore import ExplorationResult
+        segment = self.frontier.segment_at(budget)
+        if segment is None:
+            return ExplorationResult(candidates=[])
+        result = ExplorationResult(
+            candidates=self.frontier.candidates_at(budget))
+        for patterns in self.frontier.segment_patterns(segment):
+            result.measured.append(self.designs[patterns])
+        return result
+
+    def best_at(self, budget: int):
+        """The measured winner at *budget* (``None`` if nothing fits)."""
+        return self.result_at(budget).best
+
+    def points(self) -> List[Tuple[int, "DesignPoint"]]:
+        """The cost/performance curve: ``(breakpoint budget, winner)``
+        per segment, ascending budget (no-candidate segments skipped)."""
+        rows = []
+        for segment in self.frontier.segments:
+            best = self.result_at(segment.budget).best
+            if best is not None:
+                rows.append((segment.budget, best))
+        return rows
+
+    def frontier_patterns(self) -> List[Tuple]:
+        """Chain patterns appearing in some budget's *winning* design —
+        the chains that actually pay off somewhere on this frontier."""
+        seen: Dict[Tuple, None] = {}
+        for _budget, best in self.points():
+            for chain in best.isa.chains:
+                seen.setdefault(tuple(chain.pattern), None)
+        return list(seen)
+
+
+@dataclass
+class FrontierResult:
+    """Every benchmark's frontier from one sweep study."""
+
+    config: FrontierStudyConfig
+    benchmarks: Dict[str, BenchmarkFrontier] = field(default_factory=dict)
+
+    def frontier(self, name: str) -> BenchmarkFrontier:
+        try:
+            return self.benchmarks[name]
+        except KeyError:
+            raise ReproError(f"frontier study has no benchmark {name!r}")
+
+    def names(self) -> List[str]:
+        return list(self.benchmarks)
+
+    def result_at(self, name: str, budget: int) -> "ExplorationResult":
+        """Answer one (benchmark, budget) query from the swept frontier
+        — bit-identical to the corresponding ``explore-study`` cell."""
+        return self.frontier(name).result_at(budget)
+
+    def suite_chains(self) -> List[FrontierChain]:
+        """Cross-benchmark aggregation (paper §6.1 applied to design):
+        which chains appear on multiple benchmarks' frontiers, weighted
+        by each benchmark's share of suite dynamic operations."""
+        entries = []
+        for name, bench in self.benchmarks.items():
+            cycles = {tuple(c.pattern): c.cycles_accounted
+                      for c in bench.frontier.pool}
+            entries.append((name, bench.total_ops, cycles,
+                            bench.frontier_patterns()))
+        return combine_frontier_chains(entries)
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One flat record per (benchmark, breakpoint) — CLI/JSON
+        export, mirroring ``ExplorationStudyResult.summary_rows``."""
+        rows: List[Dict[str, object]] = []
+        for name, bench in self.benchmarks.items():
+            for budget, best in bench.points():
+                rows.append({
+                    "benchmark": name,
+                    "budget": budget,
+                    "speedup": best.speedup,
+                    "area": best.area,
+                    "chains": best.labels(),
+                })
+        return rows
+
+
 ProgressFn = Callable[[str, int], None]
 
 
@@ -271,3 +410,39 @@ def run_exploration_study(
             f"optimization level (expected 0, 1 or 2)")
     jobs = resolve_jobs(config.jobs)
     return execute_exploration_study(config, jobs=jobs, progress=progress)
+
+
+def run_frontier_study(
+        config: FrontierStudyConfig = FrontierStudyConfig(),
+        progress: Optional[ExploreProgressFn] = None) -> FrontierResult:
+    """Execute one incremental Pareto-frontier sweep per benchmark.
+
+    Where :func:`run_exploration_study` re-ranks the candidate pool per
+    budget cell, this walks each benchmark's pool once in breakpoint
+    order, measures each distinct finalist chain set exactly once (per
+    seed shard), and returns a :class:`FrontierResult` whose
+    ``result_at(name, budget)`` answers *any* budget by bisection —
+    bit-identical to the ``explore-study`` cell for that budget (pinned
+    by ``tests/test_frontier.py``).  Results are identical for any
+    ``jobs`` value.
+    """
+    from repro.exec.explore import execute_frontier_study
+    from repro.exec.pool import resolve_jobs
+    from repro.sim.machine import ensure_engine
+    from repro.suite.runner import validate_seeds
+    # Misconfiguration surfaces here, before any compile or worker
+    # spawn, attributed to the knob it came from.
+    ensure_engine(config.engine)
+    validate_seeds(config.seeds, source="FrontierStudyConfig.seeds")
+    if config.max_budget is not None and config.max_budget <= 0:
+        raise ReproError(
+            f"FrontierStudyConfig.max_budget={config.max_budget}: the "
+            f"sweep ceiling must be positive (or None for unbounded)")
+    try:
+        OptLevel(config.level)
+    except ValueError:
+        raise ReproError(
+            f"FrontierStudyConfig.level={config.level!r} is not an "
+            f"optimization level (expected 0, 1 or 2)")
+    jobs = resolve_jobs(config.jobs)
+    return execute_frontier_study(config, jobs=jobs, progress=progress)

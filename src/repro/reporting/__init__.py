@@ -11,6 +11,7 @@ from repro.reporting.tables import (render_table, table1, table2, table3,
 from repro.reporting.figures import (ascii_chart, figure_series,
                                      figure3, figure4, figure5, figure6)
 from repro.reporting.markdown import study_report
+from repro.reporting.frontier import frontier_report
 
 __all__ = [
     "render_table",
@@ -25,4 +26,5 @@ __all__ = [
     "figure5",
     "figure6",
     "study_report",
+    "frontier_report",
 ]

@@ -99,6 +99,55 @@ class TestParser:
         assert args.seeds == (4, 5)
         assert args.seed == 3
 
+    def test_empty_levels_rejected_at_the_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--levels", " , "])
+        assert "--levels is empty" in capsys.readouterr().err
+
+    def test_malformed_levels_get_a_clear_error(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--levels", "0,x"])
+        err = capsys.readouterr().err
+        assert "comma-separated optimization levels" in err
+
+    def test_out_of_range_levels_rejected_at_the_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study", "--levels", "0,7"])
+        err = capsys.readouterr().err
+        assert "--levels contains 7" in err
+        assert "0, 1, 2" in err
+
+    def test_single_level_flag_validated(self, capsys):
+        args = build_parser().parse_args(["explore", "sewha",
+                                          "--level", "2"])
+        assert args.level == 2
+        for command in (["explore", "sewha"], ["explore-study"],
+                        ["analyze", "k.c"]):
+            for bad in ("7", "x"):
+                with pytest.raises(SystemExit):
+                    build_parser().parse_args(command + ["--level", bad])
+                err = capsys.readouterr().err
+                assert "one optimization level" in err
+
+    def test_lengths_parsing_dedupes_and_sorts(self):
+        args = build_parser().parse_args(["analyze", "k.c",
+                                          "--lengths", "3,2,3"])
+        assert args.lengths == (2, 3)
+
+    def test_bad_lengths_rejected_at_the_flag(self, capsys):
+        # Lengths are chain lengths, not levels: 4 and 5 are fine,
+        # 1 is not ("chains have at least two operations").
+        args = build_parser().parse_args(["analyze", "k.c",
+                                          "--lengths", "4,5"])
+        assert args.lengths == (4, 5)
+        for value, message in ((" , ", "--lengths is empty"),
+                               ("2,x", "comma-separated chain lengths"),
+                               ("1,2", "at least two operations")):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["analyze", "k.c",
+                                           "--lengths", value])
+            assert message in capsys.readouterr().err
+
     def test_budgets_parsing(self):
         args = build_parser().parse_args(
             ["explore-study", "--budgets", "2500,1500,2500"])
@@ -218,6 +267,50 @@ class TestExploreStudy:
         assert code == 2
 
 
+class TestFrontierStudy:
+    def test_frontier_report_sections(self):
+        code, text = run_cli("explore-study", "--frontier",
+                             "--benchmarks", "sewha",
+                             "--max-budget", "1200")
+        assert code == 0
+        assert "sewha @ base" in text
+        assert "sewha @ frontier" in text
+        assert "sewha @ measure" in text
+        assert "# Frontier study report" in text
+        assert "## Summary" in text
+        assert "## Suite-wide chains" in text
+        assert "## sewha: frontier breakpoints" in text
+        assert "Sweep ceiling: 1200" in text
+        assert "of 1 frontiers" in text
+
+    def test_frontier_json_export(self, tmp_path):
+        out_file = tmp_path / "frontier.json"
+        code, text = run_cli("explore-study", "--frontier",
+                             "--benchmarks", "sewha",
+                             "--max-budget", "1200",
+                             "--json", str(out_file))
+        assert code == 0
+        assert "written to" in text
+        import json
+        data = json.loads(out_file.read_text())
+        assert data["config"]["max_budget"] == 1200
+        assert data["frontiers"]["sewha"]["breakpoints"]
+        assert data["cells"][0]["benchmark"] == "sewha"
+        assert data["cells"][0]["speedup"] > 1.0
+        assert data["suite_chains"][0]["frontier_count"] == 1
+        assert "of 1 frontiers" in data["suite_chains"][0]["reason"]
+
+    def test_frontier_unknown_benchmark(self):
+        code, _text = run_cli("explore-study", "--frontier",
+                              "--benchmarks", "nope")
+        assert code == 2
+
+    def test_frontier_bad_max_budget(self):
+        code, _text = run_cli("explore-study", "--frontier",
+                              "--max-budget", "0")
+        assert code == 2
+
+
 class TestCacheCommand:
     @pytest.fixture(autouse=True)
     def restore_cache_env(self, monkeypatch):
@@ -253,6 +346,42 @@ class TestCacheCommand:
         code, text = run_cli("cache", "show", "--cache-dir", "none")
         assert code == 0
         assert "disabled" in text
+
+    def test_show_surfaces_store_failures(self, tmp_path, monkeypatch):
+        # DiskCache.store never raises — a payload that cannot pickle
+        # just bumps the ``failures`` counter.  ``cache show`` reuses
+        # the live process-wide handle, so that counter must appear in
+        # its per-kind line (it used to be silently dropped from the
+        # counter-kind union).
+        from repro.sim import diskcache
+        monkeypatch.setenv(diskcache.CACHE_ENV_VAR, str(tmp_path))
+        diskcache.reset_cache_state()
+        try:
+            cache = diskcache.get_cache()
+            assert cache.store("codegen", "ab" * 32, lambda: None) is False
+            assert cache.failures["codegen"] == 1
+            code, text = run_cli("cache", "show")
+            assert code == 0
+            assert "this process:" in text
+            assert "codegen" in text
+            assert "1 store failure" in text
+        finally:
+            diskcache.reset_cache_state()
+
+    def test_show_pluralizes_store_failures(self, tmp_path, monkeypatch):
+        from repro.sim import diskcache
+        monkeypatch.setenv(diskcache.CACHE_ENV_VAR, str(tmp_path))
+        diskcache.reset_cache_state()
+        try:
+            cache = diskcache.get_cache()
+            for _ in range(2):
+                assert cache.store("bytecode", "cd" * 32,
+                                   lambda: None) is False
+            code, text = run_cli("cache", "show")
+            assert code == 0
+            assert "2 store failures" in text
+        finally:
+            diskcache.reset_cache_state()
 
 
 class TestTables:

@@ -1,0 +1,438 @@
+"""Differential harness for the incremental Pareto-frontier sweep.
+
+``run_frontier_study`` must be indistinguishable from running the
+per-budget ``run_exploration_study`` at every budget you could ever ask
+for: one sweep per benchmark, answered by bisection, bit-identical to
+re-ranking and re-measuring the cell — for every benchmark, every
+optimization level, any ``jobs`` value, and any budget (a dense
+64-point grid and seeded random fuzz, not just the budgets someone
+thought to test).  Plus the cross-benchmark chain aggregation, the
+schedule shape, config validation and the Markdown report.
+"""
+
+import random
+
+import pytest
+
+from repro.asip.explore import (candidate_pool, frontier_sweep,
+                                rank_candidates, select_finalists)
+from repro.chaining.aggregate import (FrontierChain,
+                                      combine_frontier_chains)
+from repro.errors import AsipError, ReproError
+from repro.feedback.study import (ExplorationStudyConfig,
+                                  FrontierStudyConfig,
+                                  run_exploration_study,
+                                  run_frontier_study)
+from repro.opt.pipeline import OptLevel
+from repro.reporting.frontier import frontier_report
+from repro.suite.registry import all_benchmarks, get_benchmark
+from repro.suite.runner import compile_benchmark
+
+from test_explore_study import exploration_projection
+
+SUITE = [spec.name for spec in all_benchmarks()]
+#: The pre-existing explore-study budget grid (tests/test_explore_study)
+#: — every cell of it must fall out of the frontier unchanged.
+GRID = (900, 1500, 2500)
+#: Sweep ceiling covering the whole grid with headroom.
+CEILING = 2600
+
+
+def frontier_projection(study):
+    """Everything one frontier study *answers*, minus process-local
+    objects: each benchmark's breakpoints plus the exact exploration
+    answer at every one of them."""
+    return {
+        name: {
+            "breakpoints": bench.breakpoints(),
+            "total_ops": bench.total_ops,
+            "answers": [exploration_projection(bench.result_at(b))
+                        for b in bench.breakpoints()],
+        }
+        for name, bench in study.benchmarks.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def frontier_serial():
+    return run_frontier_study(
+        FrontierStudyConfig(max_budget=CEILING, jobs=1))
+
+
+@pytest.fixture(scope="module")
+def frontier_parallel():
+    return run_frontier_study(
+        FrontierStudyConfig(max_budget=CEILING, jobs=2))
+
+
+@pytest.fixture(scope="module")
+def grid_study():
+    return run_exploration_study(
+        ExplorationStudyConfig(budgets=GRID, jobs=1))
+
+
+class TestSuiteEquivalence:
+    def test_covers_the_whole_suite(self, frontier_serial):
+        assert frontier_serial.names() == SUITE
+        for name in SUITE:
+            bench = frontier_serial.frontier(name)
+            assert bench.frontier.segments, name
+            assert bench.total_ops > 0, name
+            assert bench.designs, name
+
+    def test_grid_cells_fall_out_of_the_frontier(self, frontier_serial,
+                                                 grid_study):
+        for name in SUITE:
+            for budget in GRID:
+                assert exploration_projection(
+                    frontier_serial.result_at(name, budget)) == \
+                    exploration_projection(
+                        grid_study.exploration(name, budget)), \
+                    (name, budget)
+
+    def test_parallel_identical_to_serial(self, frontier_serial,
+                                          frontier_parallel):
+        assert frontier_projection(frontier_parallel) == \
+            frontier_projection(frontier_serial)
+
+    def test_below_first_breakpoint_nothing_fits(self, frontier_serial):
+        for name in SUITE:
+            result = frontier_serial.result_at(name, 1)
+            assert result.candidates == []
+            assert result.measured == []
+            assert result.best is None
+
+    def test_query_above_ceiling_raises(self, frontier_serial):
+        with pytest.raises(AsipError, match="beyond this frontier's "
+                                            "sweep limit"):
+            frontier_serial.result_at("sewha", CEILING + 1)
+
+    def test_unknown_benchmark_raises(self, frontier_serial):
+        with pytest.raises(ReproError, match="no benchmark"):
+            frontier_serial.frontier("nope")
+
+    def test_every_benchmark_found_a_design(self, frontier_serial):
+        # (Speedup is *not* monotone in budget: max_candidates
+        # truncation can swap candidates as the budget grows — the
+        # frontier must mirror that, not paper over it, so the grid
+        # equivalence above is the real invariant.)
+        for name in SUITE:
+            best = frontier_serial.frontier(name).best_at(GRID[-1])
+            assert best is not None, name
+            assert best.speedup > 1.0, name
+            assert best.area <= GRID[-1], name
+
+
+class TestDenseGrid:
+    """The acceptance bar: one sweep answers a >= 64-budget dense grid
+    bit-identical to running the per-budget study at each point."""
+
+    NAME = "sewha"
+    BUDGETS = tuple(range(150, 150 + 64 * 38, 38))  # 64 budgets <= 2544
+
+    def test_64_budgets_bit_identical(self, frontier_serial):
+        assert len(self.BUDGETS) >= 64
+        assert max(self.BUDGETS) <= CEILING
+        grid = run_exploration_study(ExplorationStudyConfig(
+            benchmarks=(self.NAME,), budgets=self.BUDGETS, jobs=1))
+        for budget in self.BUDGETS:
+            assert exploration_projection(
+                frontier_serial.result_at(self.NAME, budget)) == \
+                exploration_projection(
+                    grid.exploration(self.NAME, budget)), budget
+
+    def test_answers_constant_between_breakpoints(self, frontier_serial):
+        bench = frontier_serial.frontier(self.NAME)
+        breakpoints = bench.breakpoints()
+        assert len(breakpoints) >= 2
+        for lo, hi in zip(breakpoints, breakpoints[1:]):
+            left = exploration_projection(bench.result_at(lo))
+            probe = exploration_projection(bench.result_at(hi - 1))
+            assert probe == left, (lo, hi)
+
+
+class TestLevels:
+    """Levels 0 and 2 over the suite (level 1 is the default and
+    covered above); a tighter ceiling keeps the measurement load sane.
+
+    The image benchmarks (flatten/smooth/edge) are excluded at level 2:
+    chained speculative loads on their unrolled kernels index out of
+    bounds in the *per-budget* path too — a pre-existing level-2
+    exploration limitation, orthogonal to the sweep (both paths raise
+    the same ``SimulationError``, which is its own pin below)."""
+
+    GRID = (900, 1500)
+    CEIL = 1500
+    LEVEL2_SKIP = ("flatten", "smooth", "edge")
+
+    @pytest.mark.parametrize("level", (0, 2))
+    def test_matches_grid_study(self, level):
+        names = tuple(n for n in SUITE
+                      if level != 2 or n not in self.LEVEL2_SKIP)
+        frontier = run_frontier_study(FrontierStudyConfig(
+            benchmarks=names, level=level, max_budget=self.CEIL, jobs=1))
+        grid = run_exploration_study(ExplorationStudyConfig(
+            benchmarks=names, level=level, budgets=self.GRID, jobs=1))
+        assert frontier.names() == list(names)
+        for name in names:
+            for budget in self.GRID:
+                assert exploration_projection(
+                    frontier.result_at(name, budget)) == \
+                    exploration_projection(
+                        grid.exploration(name, budget)), \
+                    (level, name, budget)
+
+    @pytest.mark.parametrize("name", LEVEL2_SKIP)
+    def test_level2_image_kernels_raise_in_both_paths(self, name):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError, match="out of bounds"):
+            run_frontier_study(FrontierStudyConfig(
+                benchmarks=(name,), level=2, max_budget=self.CEIL))
+        with pytest.raises(SimulationError, match="out of bounds"):
+            run_exploration_study(ExplorationStudyConfig(
+                benchmarks=(name,), level=2, budgets=self.GRID))
+
+
+class TestFuzzQueries:
+    """Random budgets against brute-force re-ranking on real pools —
+    the pure stages only, so hundreds of queries stay cheap."""
+
+    NAMES = ("sewha", "dft", "edge")
+
+    @pytest.fixture(scope="class")
+    def pools(self):
+        from repro.asip.cost import DEFAULT_COST_MODEL
+        from repro.chaining.detect import detect_sequences
+        from repro.opt.pipeline import optimize_module
+        from repro.sim.machine import run_module
+        pools = {}
+        for name in self.NAMES:
+            spec = get_benchmark(name)
+            gm, _ = optimize_module(compile_benchmark(spec), OptLevel(1))
+            profile = run_module(gm, spec.generate_inputs(0)).profile
+            detection = detect_sequences(gm, profile, (2, 3))
+            pools[name] = candidate_pool(detection, DEFAULT_COST_MODEL)
+        return pools
+
+    def test_random_budgets_match_brute_force(self, pools):
+        rng = random.Random(1234)
+        for name, pool in pools.items():
+            frontier = frontier_sweep(pool, max_candidates=8,
+                                      measure_top=4)
+            ceiling = sum(c.area for c in pool) + 500
+            for _ in range(250):
+                budget = rng.randint(1, ceiling)
+                expected = rank_candidates(pool, budget, 8)
+                assert frontier.candidates_at(budget) == expected, \
+                    (name, budget)
+                combos = select_finalists(expected, budget, 4)
+                segment = frontier.segment_at(budget)
+                if segment is None:
+                    assert not combos, (name, budget)
+                else:
+                    assert list(segment.combos) == combos, (name, budget)
+
+    def test_bounded_sweep_matches_unbounded_within_ceiling(self, pools):
+        rng = random.Random(99)
+        for name, pool in pools.items():
+            unbounded = frontier_sweep(pool, max_candidates=8,
+                                       measure_top=4)
+            bounded = frontier_sweep(pool, max_candidates=8,
+                                     measure_top=4, max_budget=1500)
+            for _ in range(100):
+                budget = rng.randint(1, 1500)
+                assert bounded.segment_at(budget) == \
+                    unbounded.segment_at(budget), (name, budget)
+
+    def test_breakpoints_sorted_and_coalesced(self, pools):
+        for pool in pools.values():
+            frontier = frontier_sweep(pool, max_candidates=8,
+                                      measure_top=4)
+            breakpoints = frontier.breakpoints()
+            assert breakpoints == sorted(set(breakpoints))
+            # Coalescing worked: no two consecutive segments answer
+            # identically.
+            for a, b in zip(frontier.segments, frontier.segments[1:]):
+                assert (a.candidate_indices, a.combos) != \
+                    (b.candidate_indices, b.combos)
+
+
+class TestMultiSeed:
+    SEEDS = (0, 1, 2, 3, 4)
+    NAMES = ("sewha", "dft")
+    CEIL = 1200
+
+    def test_sharded_identical_to_serial(self):
+        # 5 seeds and jobs=3 forces seed sharding *and* chunked
+        # measurement fan-out.
+        sharded = run_frontier_study(FrontierStudyConfig(
+            benchmarks=self.NAMES, seeds=self.SEEDS,
+            max_budget=self.CEIL, jobs=3))
+        serial = run_frontier_study(FrontierStudyConfig(
+            benchmarks=self.NAMES, seeds=self.SEEDS,
+            max_budget=self.CEIL, jobs=1))
+        assert frontier_projection(sharded) == \
+            frontier_projection(serial)
+
+
+class TestScheduleShape:
+    def test_base_gates_frontier_gates_chunks(self):
+        from repro.exec.explore import build_frontier_schedule
+        config = FrontierStudyConfig(benchmarks=("fir", "iir"),
+                                     max_budget=2000)
+        tasks = build_frontier_schedule(config, ["fir", "iir"], jobs=2)
+        by_key = {task.key: task for task in tasks}
+        assert set(by_key) == {
+            ("base", "fir"), ("base", "iir"),
+            ("frontier", "fir"), ("frontier", "iir"),
+            ("fchunk", "fir", 0, 0), ("fchunk", "fir", 1, 0),
+            ("fchunk", "iir", 0, 0), ("fchunk", "iir", 1, 0)}
+        for key, task in by_key.items():
+            assert task.affinity == key[1]
+            if key[0] == "base":
+                assert task.deps == ()
+            elif key[0] == "frontier":
+                assert task.deps == (("base", key[1]),)
+            else:
+                assert task.deps == (("base", key[1]),
+                                     ("frontier", key[1]))
+
+    def test_serial_schedule_is_one_chunk(self):
+        from repro.exec.explore import build_frontier_schedule
+        config = FrontierStudyConfig(benchmarks=("fir",))
+        tasks = build_frontier_schedule(config, ["fir"], jobs=1)
+        assert sum(t.key[0] == "fchunk" for t in tasks) == 1
+
+    def test_seed_shards_multiply_chunks(self):
+        from repro.exec.explore import build_frontier_schedule
+        config = FrontierStudyConfig(benchmarks=("fir",),
+                                     seeds=(0, 1, 2, 3, 4))
+        tasks = build_frontier_schedule(config, ["fir"], jobs=3)
+        chunks = [t.key for t in tasks if t.key[0] == "fchunk"]
+        # 3 measurement chunks x 3 seed shards.
+        assert chunks == [("fchunk", "fir", c, j)
+                          for c in range(3) for j in range(3)]
+
+    def test_chunk_bounds_partition(self):
+        from repro.exec.explore import _chunk_bounds
+        for count in range(0, 23):
+            for chunks in range(1, 6):
+                bounds = _chunk_bounds(count, chunks)
+                assert len(bounds) == chunks
+                assert bounds[0][0] == 0 and bounds[-1][1] == count
+                for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+                    assert hi == lo
+
+    def test_progress_reports_base_frontier_measure(self):
+        events = []
+        run_frontier_study(
+            FrontierStudyConfig(benchmarks=("sewha",), max_budget=1200),
+            progress=lambda name, stage: events.append((name, stage)))
+        assert events == [("sewha", "base"), ("sewha", "frontier"),
+                          ("sewha", "measure")]
+
+
+class TestValidation:
+    def test_non_positive_max_budget(self):
+        for bad in (0, -5):
+            with pytest.raises(ReproError, match="must be positive"):
+                run_frontier_study(FrontierStudyConfig(max_budget=bad))
+
+    def test_bad_level(self):
+        with pytest.raises(ReproError, match="optimization level"):
+            run_frontier_study(FrontierStudyConfig(level=7))
+
+    def test_bad_engine(self):
+        with pytest.raises(Exception, match="unknown engine"):
+            run_frontier_study(FrontierStudyConfig(engine="turbo"))
+
+    def test_duplicate_seeds(self):
+        with pytest.raises(ReproError, match="duplicate"):
+            run_frontier_study(FrontierStudyConfig(seeds=(1, 1)))
+
+    def test_unknown_benchmark_fails_before_any_work(self):
+        with pytest.raises(ReproError):
+            run_frontier_study(FrontierStudyConfig(benchmarks=("nope",)))
+
+
+class TestSuiteAggregation:
+    """combine_frontier_chains in isolation, then on the real study."""
+
+    ENTRIES = [
+        ("a", 1000, {("add", "mul"): 300, ("load", "add"): 100},
+         [("add", "mul")]),
+        ("b", 3000, {("add", "mul"): 600, ("load", "add"): 900},
+         [("add", "mul"), ("load", "add")]),
+    ]
+
+    def test_weighting_and_sorting(self):
+        rows = combine_frontier_chains(self.ENTRIES)
+        assert [r.name for r in rows] == [("add", "mul"), ("load", "add")]
+        shared, solo = rows
+        assert shared.frontier_count == 2
+        assert shared.benchmarks == ["a", "b"]
+        # Cycles sum over *all* entries, frontier member or not.
+        assert shared.cycles_accounted == 900
+        assert shared.suite_ops == 4000
+        assert shared.combined_frequency == pytest.approx(22.5)
+        # More-shared sorts first even at lower combined frequency.
+        assert solo.combined_frequency == pytest.approx(25.0)
+        assert solo.benchmarks == ["b"]
+
+    def test_reason_strings(self):
+        rows = combine_frontier_chains(self.ENTRIES)
+        assert rows[0].reason(2) == ("on 2 of 2 frontiers (a, b); "
+                                     "22.50% of suite dynamic ops")
+        assert "on 1 of 2 frontiers (b)" in rows[1].reason(2)
+
+    def test_chain_off_every_frontier_gets_no_row(self):
+        entries = [("a", 100, {("add", "mul"): 50}, [])]
+        assert combine_frontier_chains(entries) == []
+
+    def test_zero_suite_ops(self):
+        chain = FrontierChain(name=("add", "mul"))
+        assert chain.combined_frequency == 0.0
+
+    def test_real_study_suite_chains(self, frontier_serial):
+        chains = frontier_serial.suite_chains()
+        assert chains
+        suite_ops = sum(b.total_ops
+                        for b in frontier_serial.benchmarks.values())
+        frontier_patterns = {
+            name: set(bench.frontier_patterns())
+            for name, bench in frontier_serial.benchmarks.items()}
+        for chain in chains:
+            assert 1 <= chain.frontier_count <= len(SUITE)
+            assert chain.suite_ops == suite_ops
+            for bench_name in chain.benchmarks:
+                assert chain.name in frontier_patterns[bench_name]
+        keys = [(-c.frontier_count, -c.combined_frequency, c.name)
+                for c in chains]
+        assert keys == sorted(keys)
+        # Every frontier pattern of every benchmark made it into a row.
+        rowed = {c.name for c in chains}
+        for patterns in frontier_patterns.values():
+            assert patterns <= rowed
+
+
+class TestReport:
+    def test_report_sections(self, frontier_serial):
+        text = frontier_report(frontier_serial)
+        assert text.startswith("# Frontier study report")
+        assert "## Summary" in text
+        assert "## Suite-wide chains" in text
+        for name in SUITE:
+            assert f"## {name}: frontier breakpoints" in text
+        assert f"of {len(SUITE)} frontiers" in text
+        assert "Sweep ceiling: 2600" in text
+
+    def test_summary_rows_match_points(self, frontier_serial):
+        rows = frontier_serial.summary_rows()
+        assert rows
+        for row in rows:
+            best = frontier_serial.frontier(
+                row["benchmark"]).best_at(row["budget"])
+            assert best is not None
+            assert row["speedup"] == best.speedup
+            assert row["area"] == best.area
+            assert row["chains"] == best.labels()

@@ -1,0 +1,94 @@
+"""The benchmark trend checker (``benchmarks/trend.py``).
+
+Loaded by path — the benchmarks directory is a sibling of the test
+tree, not a package — and exercised on synthetic pytest-benchmark JSON:
+the WARN threshold, one-sided names, and the end-to-end CLI including
+the missing-baseline skip path.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+TREND_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / \
+    "trend.py"
+
+
+@pytest.fixture(scope="module")
+def trend():
+    spec = importlib.util.spec_from_file_location("trend", TREND_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def results_json(means):
+    """Minimal pytest-benchmark ``--benchmark-json`` shape."""
+    return {"benchmarks": [{"name": name, "stats": {"mean": mean}}
+                           for name, mean in means.items()]}
+
+
+class TestCompare:
+    def test_flags_past_threshold_only(self, trend):
+        rows = trend.compare({"a": 1.0, "b": 1.0}, {"a": 1.09, "b": 1.11},
+                             threshold=0.10)
+        flags = {name: flag for name, *_rest, flag in rows}
+        assert flags == {"a": "ok", "b": "WARN"}
+
+    def test_speedups_never_warn(self, trend):
+        rows = trend.compare({"a": 1.0}, {"a": 0.5}, threshold=0.10)
+        assert rows[0][4] == "ok"
+        assert rows[0][3] == pytest.approx(0.5)
+
+    def test_one_sided_names_listed_not_warned(self, trend):
+        rows = trend.compare({"gone_leg": 1.0}, {"new_leg": 50.0},
+                             threshold=0.10)
+        flags = {name: flag for name, *_rest, flag in rows}
+        assert flags == {"gone_leg": "gone", "new_leg": "new"}
+
+    def test_render_counts_warnings(self, trend):
+        rows = trend.compare({"a": 1.0, "b": 1.0}, {"a": 2.0, "b": 3.0},
+                             threshold=0.10)
+        text = trend.render(rows, 0.10)
+        assert "WARNING: 2 benchmarks slower" in text
+        assert "2.00x" in text and "3.00x" in text
+
+    def test_render_clean_table_has_no_warning(self, trend):
+        rows = trend.compare({"a": 1.0}, {"a": 1.0}, threshold=0.10)
+        assert "WARNING" not in trend.render(rows, 0.10)
+
+
+class TestMain:
+    def test_end_to_end(self, trend, tmp_path, capsys):
+        baseline_dir = tmp_path / "results"
+        baseline_dir.mkdir()
+        (baseline_dir / "bench_x.json").write_text(
+            json.dumps(results_json({"fast": 0.1, "slow": 0.1})))
+        fresh = tmp_path / "bench_x.json"
+        fresh.write_text(
+            json.dumps(results_json({"fast": 0.1, "slow": 0.2})))
+        code = trend.main([str(fresh),
+                           "--baseline-dir", str(baseline_dir)])
+        out = capsys.readouterr().out
+        assert code == 0  # informational: warns, never gates
+        assert "slow" in out and "WARN" in out
+        assert "WARNING: 1 benchmark slower" in out
+
+    def test_missing_baseline_skipped(self, trend, tmp_path, capsys):
+        baseline_dir = tmp_path / "results"
+        baseline_dir.mkdir()
+        fresh = tmp_path / "bench_new.json"
+        fresh.write_text(json.dumps(results_json({"leg": 0.1})))
+        code = trend.main([str(fresh),
+                           "--baseline-dir", str(baseline_dir)])
+        assert code == 0
+        assert "no committed baseline" in capsys.readouterr().out
+
+    def test_committed_baselines_parse(self, trend):
+        results_dir = TREND_PATH.parent / "results"
+        for path in results_dir.glob("*.json"):
+            means = trend.load_means(path)
+            assert means, path
+            assert all(m > 0 for m in means.values()), path
