@@ -1,0 +1,297 @@
+"""AST determinism lint over the simulator and executor sources.
+
+The whole stack's contract is bit-identical results across tiers, across
+``jobs=N``, and across processes.  Python's ``set`` iteration order is
+randomized per process (hash randomization of ``str`` keys), so a single
+``for x in some_set:`` in a code path that shapes an emitted artifact or
+assembles results silently breaks that contract — rarely, and only
+across interpreter runs, which is the worst kind of flake.
+
+This lint walks ``sim/`` and ``exec/`` source with :mod:`ast` and flags:
+
+* iteration over a set-typed expression — a ``set``/``frozenset`` literal
+  or comprehension, a ``set(...)`` call, a set-operator combination of
+  those, or a local name only ever bound to such expressions — via
+  ``for``, a comprehension generator, ``*`` unpacking, or an ordering-
+  sensitive consumer (``list``/``tuple``/``enumerate``/``reversed``/
+  ``iter``/``join``);
+* ``.pop()`` with no arguments on a set-typed name (pops an arbitrary
+  element);
+* filesystem enumeration (``os.listdir``/``os.scandir``, ``Path.glob``/
+  ``rglob``/``iterdir``) used directly as an iteration source — the OS
+  returns entries in on-disk order — without a ``sorted(...)`` wrapper.
+
+Order-insensitive consumers (``sorted``, ``min``, ``max``, ``len``,
+``any``, ``all``, ``sum``, ``set``, ``frozenset``, membership tests) are
+fine and not flagged.  A line ending in ``# lint: ordered`` asserts the
+iteration is deliberately order-independent and suppresses the finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis import VerifyResult
+
+#: Builtins whose result does not depend on the argument's iteration order.
+_ORDER_FREE = frozenset({
+    "sorted", "min", "max", "len", "any", "all", "sum", "set",
+    "frozenset",
+})
+
+#: Builtins that materialize or expose their argument's iteration order.
+_ORDER_SENSITIVE = frozenset({
+    "list", "tuple", "enumerate", "reversed", "iter",
+})
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+_FS_CALLS = frozenset({"listdir", "scandir"})
+_FS_METHODS = frozenset({"glob", "rglob", "iterdir", "scandir"})
+
+
+def _collect_set_names(body: Sequence[ast.stmt],
+                       inherited: Set[str]) -> Set[str]:
+    """Names in this scope bound *only* to set-typed expressions."""
+    assigned: Dict[str, List[ast.expr]] = {}
+
+    def record(target: ast.expr, value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            assigned.setdefault(target.id, []).append(value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                if isinstance(elt, ast.Name):
+                    assigned.setdefault(elt.id, []).append(None)
+
+    for stmt in _scope_statements(body):
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                record(target, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            record(stmt.target, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            record(stmt.target, None)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            record(stmt.target, None)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    record(item.optional_vars, None)
+
+    # Two rounds so ``a = set(); b = a`` resolves.
+    names = set(inherited)
+    for _ in range(2):
+        resolved = set()
+        for name, values in assigned.items():
+            if name and values and all(
+                    v is not None and _is_set_expr(v, names)
+                    for v in values):
+                resolved.add(name)
+        names = (inherited - set(assigned)) | resolved
+    return names
+
+
+def _scope_statements(body: Sequence[ast.stmt]) -> Iterable[ast.stmt]:
+    """All statements in a scope, not descending into nested defs."""
+    stack = list(body)
+    while stack:
+        stmt = stack.pop()
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        for field in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(stmt, field, ()) or ())
+        for handler in getattr(stmt, "handlers", ()) or ():
+            stack.extend(handler.body)
+
+
+def _is_set_expr(node: ast.expr, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) \
+                and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) \
+                and node.func.attr in ("union", "intersection",
+                                       "difference",
+                                       "symmetric_difference") \
+                and _is_set_expr(node.func.value, set_names):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return (_is_set_expr(node.left, set_names)
+                or _is_set_expr(node.right, set_names))
+    if isinstance(node, ast.IfExp):
+        return (_is_set_expr(node.body, set_names)
+                and _is_set_expr(node.orelse, set_names))
+    return False
+
+
+def _is_fs_enumeration(node: ast.expr) -> bool:
+    """``os.listdir(..)`` / ``p.glob(..)``-style unordered fs listing."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        if func.attr in _FS_CALLS and isinstance(func.value, ast.Name) \
+                and func.value.id == "os":
+            return True
+        if func.attr in _FS_METHODS:
+            return True
+    if isinstance(func, ast.Name) and func.id in _FS_CALLS:
+        return True
+    return False
+
+
+class _ScopeLinter:
+    def __init__(self, filename: str, lines: Sequence[str],
+                 result: VerifyResult):
+        self.filename = filename
+        self.lines = lines
+        self.result = result
+        #: comprehensions passed straight into an order-free consumer
+        #: (``sorted(p for p in root.glob(..))``) — their internal
+        #: iteration order cannot leak, so they are not findings
+        self._neutral: Set[int] = set()
+
+    def _suppressed(self, node: ast.AST) -> bool:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            return "# lint: ordered" in self.lines[line - 1]
+        return False
+
+    def _flag(self, node: ast.AST, invariant: str, what: str) -> None:
+        # a ``# lint: ordered`` annotation turns the finding into a
+        # passed check — the iteration is asserted order-independent
+        self.result.check(
+            self._suppressed(node), invariant,
+            f"{self.filename}:{getattr(node, 'lineno', 0)}: {what}")
+
+    def lint_scope(self, body: Sequence[ast.stmt],
+                   inherited: Set[str]) -> None:
+        set_names = _collect_set_names(body, inherited)
+        for stmt in _scope_statements(body):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                self.lint_scope(stmt.body, set_names)
+                continue
+            for node in self._scope_walk(stmt):
+                self._lint_node(node, set_names)
+
+    def _scope_walk(self, stmt: ast.stmt) -> Iterable[ast.AST]:
+        """Walk one statement's expressions, not nested statements or
+        nested scopes (those are visited by ``lint_scope``)."""
+        skip_fields = {"body", "orelse", "finalbody", "handlers"}
+        stack: List[ast.AST] = []
+        for field, value in ast.iter_fields(stmt):
+            if field in skip_fields:
+                continue
+            if isinstance(value, ast.AST):
+                stack.append(value)
+            elif isinstance(value, list):
+                stack.extend(v for v in value if isinstance(v, ast.AST))
+        yield stmt
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef, ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _lint_node(self, node: ast.AST, set_names: Set[str]) -> None:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self._check_iter_source(node.iter, node, set_names)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            if isinstance(node, ast.SetComp) \
+                    or id(node) in self._neutral:
+                return  # result (or consumer) is order-free
+            for gen in node.generators:
+                self._check_iter_source(gen.iter, node, set_names)
+        elif isinstance(node, ast.Starred):
+            if _is_set_expr(node.value, set_names):
+                self._flag(node, "unordered-set-iteration",
+                           "unpacking a set with '*' exposes arbitrary "
+                           "order")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _ORDER_FREE:
+                self._neutral.update(id(arg) for arg in node.args)
+            if isinstance(func, ast.Name) \
+                    and func.id in _ORDER_SENSITIVE and node.args \
+                    and _is_set_expr(node.args[0], set_names):
+                self._flag(node, "unordered-set-iteration",
+                           f"{func.id}() over a set exposes arbitrary "
+                           f"order")
+            elif isinstance(func, ast.Attribute) \
+                    and func.attr == "join" and node.args \
+                    and _is_set_expr(node.args[0], set_names):
+                self._flag(node, "unordered-set-iteration",
+                           "str.join over a set exposes arbitrary order")
+            elif isinstance(func, ast.Attribute) \
+                    and func.attr == "pop" and not node.args \
+                    and _is_set_expr(func.value, set_names):
+                self._flag(node, "unordered-set-iteration",
+                           "set.pop() removes an arbitrary element")
+
+    def _check_iter_source(self, source: ast.expr, node: ast.AST,
+                           set_names: Set[str]) -> None:
+        if _is_set_expr(source, set_names):
+            self._flag(node, "unordered-set-iteration",
+                       "iteration over a set has arbitrary order")
+        elif _is_fs_enumeration(source):
+            self._flag(node, "unordered-fs-iteration",
+                       "filesystem enumeration is in on-disk order; "
+                       "wrap in sorted(...)")
+
+
+def lint_source(filename: str, source: str,
+                result: VerifyResult) -> VerifyResult:
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        result.check(False, "lint-parse", f"{filename}: {exc}")
+        return result
+    lines = source.splitlines()
+    _ScopeLinter(filename, lines, result).lint_scope(tree.body, set())
+    result.checks += 1  # the file-level sweep itself
+    return result
+
+
+def lint_paths(paths: Iterable[str]) -> VerifyResult:
+    """Lint every ``.py`` file under *paths* (files or directories)."""
+    result = VerifyResult()
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                files.extend(os.path.join(root, name)
+                             for name in names if name.endswith(".py"))
+        else:
+            files.append(path)
+    for path in sorted(files):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        rel = os.path.relpath(path)
+        lint_source(rel, source, result)
+    return result
+
+
+def default_lint_paths() -> List[str]:
+    """The artifact-shaping packages the repo holds to the lint:
+    ``sim/`` (emitters, caches) and ``exec/`` (result assembly)."""
+    import repro.exec
+    import repro.sim
+    return [os.path.dirname(repro.sim.__file__),
+            os.path.dirname(repro.exec.__file__)]
+
+
+def lint_determinism() -> VerifyResult:
+    return lint_paths(default_lint_paths())

@@ -1,0 +1,258 @@
+"""Drive the static verifier across the benchmark suite (``repro verify``).
+
+For every benchmark x optimization level, each of the five engine tiers'
+artifacts is built and checked statically:
+
+* **reference** — the :class:`ProgramGraph` structure itself;
+* **compiled**  — the closure tier's node/edge/step tables;
+* **bytecode**  — the direct-threaded words against the graph
+  (:func:`verify_lowered_module`);
+* **codegen**   — the exec-compiled source's AST
+  (:func:`verify_generated_module`);
+* **lanes**     — the lane-parallel source plus reconvergence points
+  (:func:`verify_lane_module`).
+
+The result renders as a Markdown table of checks passed per
+(benchmark, level, tier) — any cell with violations fails the sweep, and
+the violations are listed below the table by invariant name.
+
+:func:`scan_cache_entries` is the self-contained sibling used by
+``repro cache show --verify``: it walks a disk cache directory and
+classifies every entry as well-formed or corrupt from the payload alone
+(no source module needed).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis import VerifyResult, Violation
+
+TIERS = ("reference", "compiled", "bytecode", "codegen", "lanes")
+
+DEFAULT_LEVELS = (0, 1, 2)
+
+DEFAULT_LANES = 4
+
+
+@dataclass
+class SweepCell:
+    """One (benchmark, level, tier) verification outcome."""
+
+    benchmark: str
+    level: int
+    tier: str
+    checks: int = 0
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class SweepReport:
+    """Every cell of one ``repro verify`` sweep."""
+
+    cells: List[SweepCell] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(cell.ok for cell in self.cells)
+
+    @property
+    def checks(self) -> int:
+        return sum(cell.checks for cell in self.cells)
+
+    @property
+    def violations(self) -> List[Tuple[SweepCell, Violation]]:
+        return [(cell, v) for cell in self.cells for v in cell.violations]
+
+
+def _verify_tier(tier: str, graph_module, n_lanes: int) -> VerifyResult:
+    from repro.analysis.verify_codegen import (verify_generated_module,
+                                               verify_lane_module)
+    from repro.analysis.verify_lowered import (verify_compiled_module,
+                                               verify_graph,
+                                               verify_lowered_module)
+    from repro.sim.codegen import generate_module
+    from repro.sim.engine import compile_module, lower_module
+    from repro.sim.lanes import generate_lane_module
+
+    if tier == "reference":
+        result = VerifyResult()
+        for name in sorted(graph_module.graphs):
+            result.merge(verify_graph(graph_module.graphs[name]))
+        return result
+    if tier == "compiled":
+        return verify_compiled_module(graph_module,
+                                      compile_module(graph_module))
+    if tier == "bytecode":
+        lower_module(graph_module)
+        return verify_lowered_module(graph_module,
+                                     graph_module._lowered_cache)
+    if tier == "codegen":
+        return verify_generated_module(graph_module,
+                                       generate_module(graph_module))
+    if tier == "lanes":
+        return verify_lane_module(
+            graph_module, generate_lane_module(graph_module, n_lanes))
+    raise ValueError(f"unknown tier {tier!r}")
+
+
+def run_sweep(benchmarks: Optional[Sequence[str]] = None,
+              levels: Sequence[int] = DEFAULT_LEVELS,
+              tiers: Sequence[str] = TIERS,
+              n_lanes: int = DEFAULT_LANES,
+              progress=None) -> SweepReport:
+    """Statically verify every (benchmark, level, tier) artifact."""
+    from repro.opt.pipeline import OptLevel, optimize_module
+    from repro.suite.registry import all_benchmarks, get_benchmark
+    from repro.suite.runner import compile_benchmark
+
+    if benchmarks is None:
+        specs = all_benchmarks()
+    else:
+        specs = [get_benchmark(name) for name in benchmarks]
+    report = SweepReport()
+    for spec in specs:
+        module = compile_benchmark(spec)
+        for level in levels:
+            graph_module, _ = optimize_module(module, OptLevel(level))
+            for tier in tiers:
+                if progress is not None:
+                    progress(spec.name, level, tier)
+                cell = SweepCell(spec.name, level, tier)
+                try:
+                    result = _verify_tier(tier, graph_module, n_lanes)
+                except Exception as exc:  # a crash is itself a finding
+                    cell.checks += 1
+                    cell.violations.append(Violation(
+                        "verifier-crash", f"{type(exc).__name__}: {exc}",
+                        spec.name))
+                else:
+                    cell.checks = result.checks
+                    cell.violations = result.violations
+                report.cells.append(cell)
+    return report
+
+
+def render_markdown(report: SweepReport,
+                    tiers: Sequence[str] = TIERS) -> str:
+    """The ``repro verify`` summary: one row per (benchmark, level)."""
+    lines = ["# Static artifact verification", ""]
+    header = "| benchmark | level | " + " | ".join(tiers) + " |"
+    rule = "|---|---|" + "|".join("---" for _ in tiers) + "|"
+    lines += [header, rule]
+    by_row: Dict[Tuple[str, int], Dict[str, SweepCell]] = {}
+    order: List[Tuple[str, int]] = []
+    for cell in report.cells:
+        key = (cell.benchmark, cell.level)
+        if key not in by_row:
+            by_row[key] = {}
+            order.append(key)
+        by_row[key][cell.tier] = cell
+    for benchmark, level in order:
+        row = [benchmark, str(level)]
+        for tier in tiers:
+            cell = by_row[(benchmark, level)].get(tier)
+            if cell is None:
+                row.append("—")
+            elif cell.ok:
+                row.append(f"{cell.checks} ✓")
+            else:
+                row.append(f"FAIL({len(cell.violations)})")
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    total = len(report.cells)
+    failed = sum(1 for cell in report.cells if not cell.ok)
+    lines.append(f"{report.checks} checks over {total} cells; "
+                 f"{failed} cell(s) failed.")
+    if failed:
+        lines.append("")
+        lines.append("## Violations")
+        lines.append("")
+        for cell, violation in report.violations:
+            lines.append(f"- `{cell.benchmark}` L{cell.level} "
+                         f"{cell.tier}: {violation}")
+    return "\n".join(lines) + "\n"
+
+
+# -- cache scanning (repro cache show --verify) ------------------------------------
+
+
+def _scan_payload(kind: str, payload) -> VerifyResult:
+    """Self-contained well-formedness checks on one cache payload —
+    no source module available, so cross-tier checks are skipped."""
+    from repro.analysis.cfg import verify_words
+
+    result = VerifyResult()
+    if kind in ("bytecode", "codegen", "lanes"):
+        graphs = payload.get("graphs") if isinstance(payload, dict) \
+            else None
+        if not result.check(isinstance(graphs, dict), "payload-shape",
+                            f"{kind} payload has no graphs table"):
+            return result
+        for name in sorted(graphs):
+            result.merge(verify_words(graphs[name]))
+    if kind in ("codegen", "lanes"):
+        source = payload.get("source")
+        if result.check(isinstance(source, str), "payload-shape",
+                        f"{kind} payload has no source text"):
+            try:
+                ast.parse(source)
+                result.check(True, "source-syntax", "")
+            except SyntaxError as exc:
+                result.check(False, "source-syntax",
+                             f"stored source does not parse: {exc}")
+        blob = payload.get("code")
+        if blob is not None:
+            import hashlib
+            sha = hashlib.sha256(blob).hexdigest()
+            result.check(sha == payload.get("code_sha"), "code-sha",
+                         "marshalled code blob does not match its "
+                         "recorded digest")
+    if kind == "lanes":
+        result.check(isinstance(payload.get("n_lanes"), int),
+                     "payload-shape", "lanes payload has no lane count")
+    return result
+
+
+def scan_cache_entries(cache) -> Tuple[int, int, List[str]]:
+    """Scan every entry of *cache*: (well-formed, corrupt, details).
+
+    An entry that fails to unpickle or whose payload violates the
+    self-contained invariants counts as corrupt; details name the file
+    and the violated invariant.
+    """
+    import pickle
+
+    well_formed = 0
+    corrupt = 0
+    details: List[str] = []
+    for kind, path in cache.entries():
+        try:
+            with open(path, "rb") as handle:
+                entry = pickle.load(handle)
+            payload = entry["payload"]
+        except Exception as exc:
+            corrupt += 1
+            details.append(f"{path.name}: unreadable "
+                           f"({type(exc).__name__})")
+            continue
+        try:
+            result = _scan_payload(kind, payload)
+        except Exception as exc:
+            corrupt += 1
+            details.append(f"{path.name}: verifier crash "
+                           f"({type(exc).__name__}: {exc})")
+            continue
+        if result.ok:
+            well_formed += 1
+        else:
+            corrupt += 1
+            first = result.violations[0]
+            details.append(f"{path.name}: {first}")
+    return well_formed, corrupt, details

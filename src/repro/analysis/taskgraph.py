@@ -1,0 +1,122 @@
+"""Static validation of exec :class:`Task` graphs before submission.
+
+:func:`repro.exec.scheduler.run_tasks` used to discover a dependency
+cycle only *mid-run* — after every acyclic prefix of the schedule had
+already executed — and reported it as a bare "dependency cycle in
+schedule".  This module checks the whole graph up front and names the
+offending structure: the cycle itself (``a -> b -> a``), the dangling
+dependency id, the duplicated key, or an affinity hint that points at no
+real worker group.
+
+The checks are pure graph walks over :class:`Task` metadata — no task
+function ever runs — so they are safe to call on a schedule destined for
+a process pool.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Optional, Sequence
+
+from repro.analysis import VerifyResult
+from repro.errors import ReproError
+
+
+def _find_cycle(tasks: Sequence) -> Optional[List[Hashable]]:
+    """One dependency cycle as a key path ``[a, b, ..., a]``, or None.
+
+    Iterative three-color DFS in schedule order, so the reported cycle is
+    deterministic for a given task sequence.
+    """
+    deps_of = {task.key: [d for d in task.deps] for task in tasks}
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {key: WHITE for key in deps_of}
+    for root in deps_of:
+        if color[root] != WHITE:
+            continue
+        stack = [(root, iter(deps_of[root]))]
+        color[root] = GRAY
+        path = [root]
+        while stack:
+            key, it = stack[-1]
+            advanced = False
+            for dep in it:
+                if dep not in deps_of:
+                    continue  # dangling: reported separately
+                if color[dep] == GRAY:
+                    return path[path.index(dep):] + [dep]
+                if color[dep] == WHITE:
+                    color[dep] = GRAY
+                    stack.append((dep, iter(deps_of[dep])))
+                    path.append(dep)
+                    advanced = True
+                    break
+            if not advanced:
+                color[key] = BLACK
+                stack.pop()
+                path.pop()
+    return None
+
+
+def format_cycle(cycle: Iterable[Hashable]) -> str:
+    return " -> ".join(repr(key) for key in cycle)
+
+
+def verify_task_graph(tasks: Sequence,
+                      affinities: Optional[Iterable[Hashable]] = None
+                      ) -> VerifyResult:
+    """Check *tasks* for duplicate keys, dangling deps, cycles and —
+    when *affinities* lists the real worker groups — unknown affinity
+    hints.  Pure; nothing is executed."""
+    result = VerifyResult()
+    keys = [task.key for task in tasks]
+    seen = set()
+    dupes = []
+    for key in keys:
+        if key in seen:
+            dupes.append(key)
+        seen.add(key)
+    result.check(not dupes, "duplicate-task-key",
+                 f"duplicate task keys in schedule: {dupes[:5]!r}")
+    for task in tasks:
+        for dep in task.deps:
+            result.check(dep in seen, "unknown-dep",
+                         f"task {task.key!r} depends on unknown task "
+                         f"{dep!r}")
+    cycle = _find_cycle(tasks)
+    result.check(cycle is None, "dependency-cycle",
+                 "dependency cycle in schedule: "
+                 + (format_cycle(cycle) if cycle else ""))
+    if affinities is not None:
+        known = set(affinities)
+        for task in tasks:
+            hint = getattr(task, "affinity", None)
+            result.check(hint is None or hint in known,
+                         "unknown-affinity",
+                         f"task {task.key!r} has affinity hint {hint!r} "
+                         f"matching no worker group")
+    return result
+
+
+def check_task_graph(tasks: Sequence) -> None:
+    """Raise :class:`ReproError` on the first structural defect.
+
+    Error-message prefixes are stable API, matched by existing callers
+    and tests: ``duplicate task keys in schedule``, ``task ... depends
+    on unknown task ...``, ``dependency cycle in schedule``.
+    """
+    keys = [task.key for task in tasks]
+    if len(set(keys)) != len(keys):
+        seen = set()
+        dupes = [k for k in keys if k in seen or seen.add(k)]
+        raise ReproError(
+            f"duplicate task keys in schedule: {dupes[:5]!r}")
+    known = set(keys)
+    for task in tasks:
+        for dep in task.deps:
+            if dep not in known:
+                raise ReproError(
+                    f"task {task.key!r} depends on unknown task {dep!r}")
+    cycle = _find_cycle(tasks)
+    if cycle is not None:
+        raise ReproError(
+            f"dependency cycle in schedule: {format_cycle(cycle)}")

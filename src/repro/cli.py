@@ -283,7 +283,30 @@ def build_parser() -> argparse.ArgumentParser:
     cache = sub.add_parser(
         "cache", help="inspect or clear the compile-artifact disk cache")
     cache.add_argument("action", choices=("show", "clear"))
+    cache.add_argument("--verify", action="store_true",
+                       help="scan every entry and report well-formed vs "
+                            "corrupt counts (show only)")
     _add_cache_arg(cache)
+
+    verify = sub.add_parser(
+        "verify", help="statically verify lowered/generated artifacts "
+                       "across the suite")
+    verify.add_argument("--benchmarks", default=None,
+                        help="comma-separated subset (default: all 12)")
+    verify.add_argument("--levels", default="0,1,2", type=_parse_levels,
+                        help="optimization levels (default 0,1,2)")
+    verify.add_argument("--tiers", default=None,
+                        help="comma-separated subset of "
+                             "reference,compiled,bytecode,codegen,lanes")
+    verify.add_argument("--lanes", type=int, default=4,
+                        help="lane count for the lanes tier (default 4)")
+    verify.add_argument("--skip-lint", action="store_true",
+                        help="skip the determinism lint over sim/ and "
+                             "exec/")
+    verify.add_argument("--output", default=None,
+                        help="file for the Markdown summary "
+                             "(default: stdout)")
+    _add_cache_arg(verify)
 
     report = sub.add_parser("report",
                             help="write a Markdown study report")
@@ -534,7 +557,7 @@ def cmd_cache(args, out) -> int:
         print("entries:         none", file=out)
     counter_kinds = sorted(set(cache.hits) | set(cache.misses)
                            | set(cache.stores) | set(cache.corrupt)
-                           | set(cache.failures))
+                           | set(cache.failures) | set(cache.rejected))
     if counter_kinds:
         print("this process:", file=out)
         for kind in counter_kinds:
@@ -543,12 +566,23 @@ def cmd_cache(args, out) -> int:
                     f"{cache.stores[kind]} stores")
             if cache.corrupt[kind]:
                 line += f", {cache.corrupt[kind]} corrupt"
+            if cache.rejected[kind]:
+                line += f", {cache.rejected[kind]} rejected"
             if cache.failures[kind]:
                 line += (f", {cache.failures[kind]} store "
                          f"failure{'s' if cache.failures[kind] != 1 else ''}")
             print(line, file=out)
     else:
         print("this process:    no cache traffic yet", file=out)
+    if getattr(args, "verify", False):
+        from repro.analysis.sweep import scan_cache_entries
+        well_formed, corrupt_n, details = scan_cache_entries(cache)
+        print(f"verification:    {well_formed} well-formed, "
+              f"{corrupt_n} corrupt", file=out)
+        for detail in details:
+            print(f"  {detail}", file=out)
+        if corrupt_n:
+            return 1
     return 0
 
 
@@ -642,6 +676,44 @@ def cmd_report(args, out) -> int:
     return 0
 
 
+def cmd_verify(args, out) -> int:
+    from repro.analysis.lint import lint_determinism
+    from repro.analysis.sweep import TIERS, render_markdown, run_sweep
+
+    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    tiers = tuple(args.tiers.split(",")) if args.tiers else TIERS
+    for tier in tiers:
+        if tier not in TIERS:
+            raise ReproError(f"unknown tier {tier!r} (expected one of "
+                             f"{', '.join(TIERS)})")
+    report = run_sweep(benchmarks=benchmarks, levels=args.levels,
+                       tiers=tiers, n_lanes=args.lanes)
+    text = render_markdown(report, tiers=tiers)
+    failed = not report.ok
+    if not args.skip_lint:
+        lint = lint_determinism()
+        if lint.ok:
+            text += (f"\nDeterminism lint: {lint.checks} checks over "
+                     f"sim/ and exec/ — clean.\n")
+        else:
+            failed = True
+            text += (f"\nDeterminism lint: "
+                     f"{len(lint.violations)} finding(s):\n")
+            for violation in lint.violations:
+                text += f"- {violation}\n"
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"verification summary written to {args.output}", file=out)
+        if failed:
+            for cell, violation in report.violations:
+                print(f"FAIL {cell.benchmark} L{cell.level} "
+                      f"{cell.tier}: {violation}", file=out)
+    else:
+        print(text, file=out)
+    return 1 if failed else 0
+
+
 _COMMANDS = {
     "list": cmd_list,
     "study": cmd_study,
@@ -653,6 +725,7 @@ _COMMANDS = {
     "cache": cmd_cache,
     "analyze": cmd_analyze,
     "report": cmd_report,
+    "verify": cmd_verify,
 }
 
 

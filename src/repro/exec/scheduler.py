@@ -28,6 +28,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, Optional, Sequence, Tuple
 
+from repro.analysis.taskgraph import check_task_graph
 from repro.errors import ReproError
 from repro.exec.pool import discard_broken_pool, get_pool, resolve_jobs
 
@@ -75,15 +76,10 @@ class ScheduleStats:
 
 
 def _validate(tasks: Sequence[Task]) -> None:
-    keys = [task.key for task in tasks]
-    if len(set(keys)) != len(keys):
-        raise ReproError("duplicate task keys in schedule")
-    known = set(keys)
-    for task in tasks:
-        for dep in task.deps:
-            if dep not in known:
-                raise ReproError(
-                    f"task {task.key!r} depends on unknown task {dep!r}")
+    # Full up-front structural validation — duplicate keys, dangling
+    # deps, and dependency cycles reported with the named cycle — so a
+    # bad schedule fails before any task runs (see analysis.taskgraph).
+    check_task_graph(tasks)
 
 
 def run_tasks(tasks: Sequence[Task], jobs: Optional[int] = None,

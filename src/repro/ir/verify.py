@@ -19,7 +19,7 @@ from typing import Set
 from repro.errors import IRError
 from repro.ir.instr import Instruction
 from repro.ir.ops import Op, OpKind, kind, result_type
-from repro.ir.values import Constant, Label, VirtualReg
+from repro.ir.values import ArraySymbol, Constant, Label, VirtualReg
 
 _INT_SRC_OPS = {
     Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD, Op.NEG, Op.AND, Op.OR, Op.XOR,
@@ -71,6 +71,52 @@ def _check_operand_types(ins: Instruction) -> None:
             raise IRError(f"destination class mismatches opcode: {ins}")
 
 
+def _check_call_site(fn, ins: Instruction, callee) -> None:
+    """Check one ``call`` against the callee's signature.
+
+    The front end converts every scalar argument to the parameter's
+    register class and semantic analysis pins array arguments to the
+    declared element type, so at this level any mismatch is a real
+    invariant violation, not a pending coercion.
+    """
+    if len(ins.srcs) != len(callee.params):
+        raise IRError(
+            f"{fn.name}: call to {callee.name!r} passes "
+            f"{len(ins.srcs)} argument(s), signature has "
+            f"{len(callee.params)}")
+    for i, (arg, param) in enumerate(zip(ins.srcs, callee.params)):
+        if isinstance(param, ArraySymbol):
+            if not isinstance(arg, ArraySymbol):
+                raise IRError(
+                    f"{fn.name}: call to {callee.name!r}: argument "
+                    f"{i} must be an array, got {arg}")
+            if arg.is_float != param.is_float:
+                raise IRError(
+                    f"{fn.name}: call to {callee.name!r}: array "
+                    f"argument {i} is {arg.type_name}, parameter "
+                    f"{param.name!r} is {param.type_name}")
+        else:
+            if isinstance(arg, ArraySymbol):
+                raise IRError(
+                    f"{fn.name}: call to {callee.name!r}: argument "
+                    f"{i} must be a scalar, got array {arg}")
+            if getattr(arg, "is_float", False) != param.is_float:
+                raise IRError(
+                    f"{fn.name}: call to {callee.name!r}: argument "
+                    f"{i} register class mismatches parameter "
+                    f"{param.name!r}")
+    if callee.return_type == "void":
+        if ins.dest is not None:
+            raise IRError(
+                f"{fn.name}: call to void function {callee.name!r} "
+                f"must not define a register")
+    elif ins.dest is not None \
+            and ins.dest.is_float != (callee.return_type == "float"):
+        raise IRError(
+            f"{fn.name}: call destination class mismatches "
+            f"{callee.name!r} return type {callee.return_type!r}")
+
+
 def verify_function(fn, module=None) -> None:
     """Raise :class:`IRError` on the first violated invariant."""
     labels = fn.labels()
@@ -93,6 +139,7 @@ def verify_function(fn, module=None) -> None:
             if ins.callee not in module.functions:
                 raise IRError(
                     f"{fn.name}: call to unknown function {ins.callee!r}")
+            _check_call_site(fn, ins, module.functions[ins.callee])
         for reg in ins.uses():
             if reg not in defined:
                 # A use before any linear definition.  Loop-carried registers

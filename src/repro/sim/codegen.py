@@ -42,8 +42,8 @@ from repro.sim import engine as _eng
 from repro.sim.engine import (BR, CALL, CP, CP2, ERROR, INTRN, J, JB,
                               LoweredModule, RET_C, RET_N, RET_R, RET_S,
                               RETREAD, TEST, _LoweredGraph, _UNDEF,
-                              _signature_matches, lower_module,
-                              run_lowered_module)
+                              _payload_verified, _signature_matches,
+                              lower_module, run_lowered_module)
 from repro.sim.machine import _MAX_CALL_DEPTH, MachineResult
 from repro.sim.memory import ArrayStorage
 
@@ -641,6 +641,9 @@ def generate_module(module: GraphModule) -> GeneratedModule:
     digest = module_digest(module) if cache is not None else None
     if digest is not None:
         payload = cache.load("codegen", digest)
+        if payload is not None and not _payload_verified(
+                module, "codegen", payload, cache, digest=digest):
+            payload = None
         if payload is not None:
             try:
                 generated = GeneratedModule.from_payload(module, payload)

@@ -56,6 +56,12 @@ from repro.ir.values import ArraySymbol, Constant, VirtualReg
 #: Environment variable naming the cache directory (``none`` disables).
 CACHE_ENV_VAR = "REPRO_CACHE"
 
+#: When set truthy, every payload served from disk is statically verified
+#: against the module before use (see :mod:`repro.analysis`); a payload
+#: that fails verification is treated as a miss, counted under
+#: ``rejected``, and regenerated — exactly the corruption path.
+VERIFY_ENV_VAR = "REPRO_VERIFY"
+
 #: The value of :data:`CACHE_ENV_VAR` (or ``--cache-dir``) that disables
 #: the disk tier entirely.
 DISABLE_VALUE = "none"
@@ -217,6 +223,12 @@ class DiskCache:
         self.stores: Counter = Counter()
         self.corrupt: Counter = Counter()
         self.failures: Counter = Counter()  # stores that could not land
+        self.rejected: Counter = Counter()  # verify-on-load refusals
+        #: ``(kind, digest)`` pairs whose payloads already passed the
+        #: verify-on-load gate this process.  The digest keys the entry
+        #: file, so a re-load serves the same bytes — re-checking them
+        #: would only re-derive the same verdict.
+        self.verified: set = set()
 
     # -- paths ---------------------------------------------------------------------
 
@@ -267,6 +279,18 @@ class DiskCache:
         self.hits[kind] -= 1
         self.misses[kind] += 1
         self.corrupt[kind] += 1
+
+    def reject(self, kind: str) -> None:
+        """Reclassify the most recent hit as a verification refusal.
+
+        The verify-on-load gate (:data:`VERIFY_ENV_VAR`) calls this when
+        an entry unpickled cleanly but its payload violates a static
+        invariant; like :meth:`unusable`, the hit becomes a miss and the
+        caller regenerates.
+        """
+        self.hits[kind] -= 1
+        self.misses[kind] += 1
+        self.rejected[kind] += 1
 
     def store(self, kind: str, digest: str, payload) -> bool:
         """Atomically publish *payload*; never raises.
@@ -365,3 +389,9 @@ def reset_cache_state() -> None:
     """Drop the process-wide handle (tests; counters start over)."""
     global _active
     _active = None
+
+
+def verify_on_load() -> bool:
+    """Whether the verify-on-load gate (:data:`VERIFY_ENV_VAR`) is on."""
+    value = os.environ.get(VERIFY_ENV_VAR, "")
+    return value.strip().lower() in ("1", "true", "on", "yes")

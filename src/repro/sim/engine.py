@@ -1756,6 +1756,49 @@ class LoweredModule:
         return lowered
 
 
+def _payload_verified(module, kind: str, payload, cache,
+                      n_lanes: Optional[int] = None,
+                      digest: Optional[str] = None) -> bool:
+    """The verify-on-load gate shared by every disk-cache load site.
+
+    With ``REPRO_VERIFY`` unset this is free (one env lookup).  When
+    set, the payload is statically checked against *module* before any
+    reconstruction or ``exec``; a violating — or verifier-crashing —
+    payload is counted as ``rejected`` and read as a miss, exactly like
+    a corrupt entry, and the caller regenerates.
+
+    A pass is memoized per ``(kind, digest)`` on the cache handle: the
+    digest keys the entry file, so a later load of the same key serves
+    the same bytes and a re-check could only repeat the verdict.  A
+    warm study therefore pays for each distinct artifact once per
+    process, not once per load.
+    """
+    from repro.sim.diskcache import verify_on_load
+    if not verify_on_load():
+        return True
+    if digest is not None and (kind, digest) in cache.verified:
+        return True
+    try:
+        from repro.analysis import verify_codegen as _verifier
+        if kind == "bytecode":
+            result = _verifier.verify_bytecode_payload(module, payload)
+        elif kind == "codegen":
+            result = _verifier.verify_codegen_payload(module, payload)
+        elif kind == "lanes":
+            result = _verifier.verify_lanes_payload(module, payload,
+                                                    n_lanes)
+        else:
+            return True
+        ok = result.ok
+    except Exception:
+        ok = False
+    if not ok:
+        cache.reject(kind)
+    elif digest is not None:
+        cache.verified.add((kind, digest))
+    return ok
+
+
 def lower_module(module: GraphModule,
                  _digest: Optional[str] = None) -> LoweredModule:
     """Bytecode form of *module*, cached on the module itself.
@@ -1788,6 +1831,9 @@ def lower_module(module: GraphModule,
     if cache is not None:
         digest = _digest if _digest is not None else module_digest(module)
         payload = cache.load("bytecode", digest)
+        if payload is not None and not _payload_verified(
+                module, "bytecode", payload, cache, digest=digest):
+            payload = None
         if payload is not None:
             try:
                 lowered = LoweredModule.from_graphs(module,

@@ -64,7 +64,8 @@ from repro.sim.codegen import (_BINF, _BINOPS, _LOADS, _MOV_CONSTS,
 from repro.sim.engine import (BR, CALL, CP, CP2, ERROR, INTRN, J, JB,
                               LoweredModule, RET_C, RET_N, RET_R, RET_S,
                               RETREAD, TEST, _LoweredGraph, _UNDEF,
-                              _signature_matches, lower_module)
+                              _payload_verified, _signature_matches,
+                              lower_module)
 from repro.sim.machine import _MAX_CALL_DEPTH, MachineResult
 from repro.sim.memory import ArrayStorage
 from repro.sim.profile import ProfileData
@@ -1046,7 +1047,7 @@ class _LaneState:
             names.update(lane_globals)
         self.global_arrays: Dict[str, List[Optional[ArrayStorage]]] = {
             name: [lane_globals.get(name) for lane_globals in globals_]
-            for name in names}
+            for name in sorted(names)}
         self.max_cycles = max_cycles
         self.depth = 0
         self.call_counts: Dict[str, List[int]] = {
@@ -1165,6 +1166,10 @@ def generate_lane_module(module: GraphModule, n_lanes: int) -> LaneModule:
         digest = module_digest(module)
         key = f"{digest}-L{n_lanes}"
         payload = cache.load("lanes", key)
+        if payload is not None and not _payload_verified(
+                module, "lanes", payload, cache, n_lanes=n_lanes,
+                digest=key):
+            payload = None
         if payload is not None:
             lane_module = None
             try:
