@@ -12,6 +12,7 @@
     python -m repro explore-study --frontier  # X2, every budget at once
     python -m repro cache show                # inspect the disk cache
     python -m repro analyze my_kernel.c       # analyze a user kernel
+    python -m repro serve --socket /tmp/r.sock  # repro-as-a-service
 
 ``analyze`` compiles any mini-C file, fills its uninitialized global
 arrays with seeded random data, runs the full pipeline at the requested
@@ -21,6 +22,7 @@ level and prints the detected sequences plus the coverage analysis.
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import re
 import sys
@@ -200,6 +202,13 @@ def _add_seeds_arg(parser) -> None:
                              "is the primary; default: --seed only)")
 
 
+def _add_result_cache_arg(parser) -> None:
+    parser.add_argument("--result-cache", action="store_true",
+                        help="also cache whole study results in the disk "
+                             "cache (repeats of an answered config load "
+                             "from disk; same as REPRO_RESULT_CACHE=1)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -221,6 +230,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_arg(study)
     _add_seeds_arg(study)
     _add_cache_arg(study)
+    _add_result_cache_arg(study)
 
     tables = sub.add_parser("tables", help="regenerate paper tables")
     tables.add_argument("which", choices=("1", "2", "3", "all"))
@@ -279,6 +289,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_arg(explore_study)
     _add_seeds_arg(explore_study)
     _add_cache_arg(explore_study)
+    _add_result_cache_arg(explore_study)
+
+    serve = sub.add_parser(
+        "serve", help="run the repro service daemon (JSON requests "
+                      "over a local socket; see README)")
+    serve.add_argument("--socket", default=None,
+                       help="Unix socket path to listen on")
+    serve.add_argument("--port", type=int, default=None,
+                       help="local TCP port to listen on (0 picks a "
+                            "free one, printed at startup)")
+    serve.add_argument("--status", action="store_true",
+                       help="query a running daemon's status instead "
+                            "of starting one")
+    serve.add_argument("--no-result-cache", action="store_true",
+                       help="serve without the whole-result disk tier "
+                            "(on by default for the daemon)")
+    _add_jobs_arg(serve)
+    _add_cache_arg(serve)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear the compile-artifact disk cache")
@@ -458,13 +486,13 @@ def cmd_explore_study(args, out) -> int:
               f"{speedup:>8s} {area:>6s}  {chains}", file=out)
     if args.json:
         import json
+
+        # The serve daemon answers explore-study requests with this
+        # exact payload; sharing the builder keeps the two documents
+        # interchangeable.
+        from repro.serve.protocol import exploration_payload
         with open(args.json, "w") as fh:
-            json.dump({"config": {
-                "budgets": list(config.budgets), "level": config.level,
-                "seed": config.seed,
-                "seeds": list(config.seeds) if config.seeds else None,
-                "engine": config.engine},
-                "cells": study.summary_rows()}, fh, indent=2)
+            json.dump(exploration_payload(study), fh, indent=2)
             fh.write("\n")
         print(f"\nsummary written to {args.json}", file=out)
     return 0
@@ -487,27 +515,11 @@ def _cmd_frontier_study(args, benchmarks, out) -> int:
     print(frontier_report(study), file=out)
     if args.json:
         import json
-        suite = [{
-            "chain": chain.label,
-            "frontier_count": chain.frontier_count,
-            "benchmarks": list(chain.benchmarks),
-            "combined_frequency": chain.combined_frequency,
-            "reason": chain.reason(len(study.benchmarks)),
-        } for chain in study.suite_chains()]
-        payload = {
-            "config": {
-                "level": config.level, "seed": config.seed,
-                "seeds": list(config.seeds) if config.seeds else None,
-                "max_budget": config.max_budget,
-                "engine": config.engine},
-            "frontiers": {
-                name: {"breakpoints": bench.breakpoints()}
-                for name, bench in study.benchmarks.items()},
-            "cells": study.summary_rows(),
-            "suite_chains": suite,
-        }
+
+        # Same document the serve daemon returns for frontier requests.
+        from repro.serve.protocol import frontier_payload
         with open(args.json, "w") as fh:
-            json.dump(payload, fh, indent=2)
+            json.dump(frontier_payload(study), fh, indent=2)
             fh.write("\n")
         print(f"\nsummary written to {args.json}", file=out)
     return 0
@@ -546,6 +558,14 @@ def cmd_cache(args, out) -> int:
         total_bytes += size
     print(f"cache directory: {root}", file=out)
     print(f"format version:  v{diskcache.FORMAT_VERSION}", file=out)
+    cap = diskcache.resolve_max_bytes(strict=True)
+    if cap is not None:
+        print(f"size cap:        {cap / (1024 * 1024):.1f} MiB "
+              f"({diskcache.MAX_MB_ENV_VAR}, LRU eviction)", file=out)
+    stale = len(cache.tmp_files())
+    if stale:
+        print(f"stale tmp files: {stale} (swept by eviction scans and "
+              f"'cache clear')", file=out)
     if by_kind:
         for kind in sorted(by_kind):
             count, kind_bytes = by_kind[kind]
@@ -557,7 +577,8 @@ def cmd_cache(args, out) -> int:
         print("entries:         none", file=out)
     counter_kinds = sorted(set(cache.hits) | set(cache.misses)
                            | set(cache.stores) | set(cache.corrupt)
-                           | set(cache.failures) | set(cache.rejected))
+                           | set(cache.failures) | set(cache.rejected)
+                           | set(cache.evictions))
     if counter_kinds:
         print("this process:", file=out)
         for kind in counter_kinds:
@@ -571,7 +592,25 @@ def cmd_cache(args, out) -> int:
             if cache.failures[kind]:
                 line += (f", {cache.failures[kind]} store "
                          f"failure{'s' if cache.failures[kind] != 1 else ''}")
+            if cache.evictions[kind]:
+                line += (f", {cache.evictions[kind]} evicted "
+                         f"({cache.evicted_bytes[kind] / 1024:.1f} KiB)")
+            if cache.bytes_read[kind] or cache.bytes_written[kind]:
+                line += (f", {cache.bytes_read[kind] / 1024:.1f} KiB "
+                         f"read, {cache.bytes_written[kind] / 1024:.1f}"
+                         f" KiB written")
             print(line, file=out)
+        if cache.op_count:
+            print("op latency:", file=out)
+            for op in sorted(cache.op_count):
+                count = cache.op_count[op]
+                seconds = cache.op_seconds[op]
+                avg_ms = seconds / count * 1000.0 if count else 0.0
+                print(f"  {op:10s} {count:5d} ops, {seconds:.3f}s "
+                      f"total, {avg_ms:.3f} ms avg", file=out)
+        if cache.tmp_swept:
+            print(f"  tmp swept  {cache.tmp_swept} stale file"
+                  f"{'s' if cache.tmp_swept != 1 else ''}", file=out)
     else:
         print("this process:    no cache traffic yet", file=out)
     if getattr(args, "verify", False):
@@ -583,6 +622,42 @@ def cmd_cache(args, out) -> int:
             print(f"  {detail}", file=out)
         if corrupt_n:
             return 1
+    return 0
+
+
+def cmd_serve(args, out) -> int:
+    if args.socket is None and args.port is None:
+        raise ReproError("repro serve needs --socket PATH or --port N")
+    if args.status:
+        import json
+
+        from repro.serve.client import ServeClient
+        client = ServeClient(socket_path=args.socket, port=args.port,
+                             timeout=30.0)
+        try:
+            response = client.request({"op": "status"})
+        finally:
+            client.close()
+        print(json.dumps(response.get("result", response), indent=2,
+                         sort_keys=True), file=out)
+        return 0 if response.get("ok") else 1
+
+    from repro.serve.daemon import ReproServer
+    from repro.sim.diskcache import RESULT_ENV_VAR
+    if args.no_result_cache:
+        os.environ[RESULT_ENV_VAR] = "0"
+    else:
+        # The daemon is the result tier's home turf: long-lived process,
+        # repeated questions.  On by default, explicit env wins.
+        os.environ.setdefault(RESULT_ENV_VAR, "1")
+    server = ReproServer(socket_path=args.socket, port=args.port,
+                         jobs=args.jobs)
+    thread = server.run_in_thread()
+    where = (args.socket if args.socket
+             else f"{server.host}:{server.bound_port}")
+    print(f"repro serve listening on {where}", file=out, flush=True)
+    thread.join()
+    print("repro serve stopped", file=out)
     return 0
 
 
@@ -722,6 +797,7 @@ _COMMANDS = {
     "ilp": cmd_ilp,
     "explore": cmd_explore,
     "explore-study": cmd_explore_study,
+    "serve": cmd_serve,
     "cache": cmd_cache,
     "analyze": cmd_analyze,
     "report": cmd_report,
@@ -739,6 +815,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         # the same cache directory (or none).
         from repro.sim.diskcache import set_cache_dir
         set_cache_dir(args.cache_dir)
+    if getattr(args, "result_cache", False):
+        from repro.sim.diskcache import RESULT_ENV_VAR
+        os.environ[RESULT_ENV_VAR] = "1"
     try:
         return _COMMANDS[args.command](args, out)
     except ReproError as exc:

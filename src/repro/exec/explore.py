@@ -260,11 +260,13 @@ def build_exploration_schedule(config, names: Sequence[str], jobs: int = 1,
 
 def execute_exploration_study(config, jobs: int,
                               progress: Optional[
-                                  Callable[[str, str], None]] = None):
+                                  Callable[[str, str], None]] = None,
+                              stats=None):
     """Run the benchmark × budget matrix on *jobs* workers; see
     :func:`repro.feedback.study.run_exploration_study` for the public
     entry point (and :data:`repro.feedback.study.ExploreProgressFn` for
-    the progress-callback contract)."""
+    the progress-callback contract).  ``stats`` collects scheduler
+    accounting (see :func:`repro.exec.study.execute_study`)."""
     from repro.feedback.study import ExplorationStudyResult
     from repro.suite.registry import all_benchmarks
 
@@ -287,7 +289,7 @@ def execute_exploration_study(config, jobs: int,
     cells = run_tasks(
         build_exploration_schedule(config, names, jobs=jobs,
                                    epoch=next_epoch()),
-        jobs=jobs, on_start=on_start)
+        jobs=jobs, on_start=on_start, stats=stats)
 
     result = ExplorationStudyResult(config=config)
     for name in names:
@@ -423,10 +425,12 @@ def build_frontier_schedule(config, names: Sequence[str], jobs: int = 1,
 
 def execute_frontier_study(config, jobs: int,
                            progress: Optional[
-                               Callable[[str, str], None]] = None):
+                               Callable[[str, str], None]] = None,
+                           stats=None):
     """Run one frontier sweep + breakpoint measurements per benchmark
     on *jobs* workers; see :func:`repro.feedback.study.
-    run_frontier_study` for the public entry point."""
+    run_frontier_study` for the public entry point.  ``stats`` collects
+    scheduler accounting (see :func:`repro.exec.study.execute_study`)."""
     from repro.feedback.study import BenchmarkFrontier, FrontierResult
     from repro.suite.registry import all_benchmarks
 
@@ -451,7 +455,7 @@ def execute_frontier_study(config, jobs: int,
     cells = run_tasks(
         build_frontier_schedule(config, names, jobs=jobs,
                                 epoch=next_epoch()),
-        jobs=jobs, on_start=on_start)
+        jobs=jobs, on_start=on_start, stats=stats)
 
     result = FrontierResult(config=config)
     for name in names:

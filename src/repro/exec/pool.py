@@ -202,6 +202,11 @@ def discard_broken_pool() -> None:
     shutdown_pool(wait=False)
 
 
+def pool_status() -> Dict[str, object]:
+    """The persistent pool's current shape (serve status, diagnostics)."""
+    return {"alive": _pool is not None, "workers": _pool_workers}
+
+
 def parallel_map(fn: Callable[[T], R], items: Iterable[T],
                  jobs: Optional[int] = None) -> List[R]:
     """Map *fn* over *items*, preserving order.
@@ -211,6 +216,12 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T],
     is a plain serial loop: byte-identical behavior, no pool, no
     pickling.  Otherwise items are dispatched to the persistent pool; the
     first worker exception propagates to the caller unchanged.
+
+    A dead worker (:class:`BrokenProcessPool`) gets one rebuild-and-retry
+    on a fresh pool before the error propagates: the map's items are
+    independent and held by the parent, so a re-dispatch after a
+    transient worker death (OOM kill, stray signal) is always safe.  A
+    second failure raises — a worker that dies twice is not transient.
     """
     items = list(items)
     workers = resolve_jobs(jobs)
@@ -219,9 +230,12 @@ def parallel_map(fn: Callable[[T], R], items: Iterable[T],
     # The pool is sized by the requested worker count, not by this map's
     # length: a stable size is what lets consecutive operations (a small
     # exploration fan-out, then a full study matrix) share warm workers.
-    pool = get_pool(workers)
     try:
-        return list(pool.map(fn, items))
+        return list(get_pool(workers).map(fn, items))
+    except BrokenProcessPool:
+        discard_broken_pool()
+    try:
+        return list(get_pool(workers).map(fn, items))
     except BrokenProcessPool:
         discard_broken_pool()
         raise

@@ -214,9 +214,11 @@ def _merge_shards(run: BenchmarkRun, config,
                    seed_results=tuple(seed_results))
 
 
-def execute_study(config, jobs: int, progress=None):
+def execute_study(config, jobs: int, progress=None, stats=None):
     """Run the matrix on *jobs* workers; see :func:`repro.feedback.study.
-    run_study` for the public entry point."""
+    run_study` for the public entry point.  ``stats`` (a
+    :class:`~repro.exec.scheduler.ScheduleStats`) collects scheduler
+    accounting — the serve daemon's status endpoint reads it."""
     from repro.feedback.study import BenchmarkStudy, StudyResult
     from repro.suite.registry import all_benchmarks
 
@@ -235,7 +237,7 @@ def execute_study(config, jobs: int, progress=None):
     # workers kept warm from *earlier* studies drop theirs first.
     cells: Dict = run_tasks(
         build_schedule(config, names, jobs=jobs, epoch=next_epoch()),
-        jobs=jobs, on_start=on_start)
+        jobs=jobs, on_start=on_start, stats=stats)
 
     result = StudyResult(config=config)
     for name in names:

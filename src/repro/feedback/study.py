@@ -313,8 +313,139 @@ class FrontierResult:
 ProgressFn = Callable[[str, int], None]
 
 
+# -- front-loaded validation -------------------------------------------------------
+#
+# Shared by the run_* entry points and the serve daemon's protocol
+# layer, so a malformed request fails before any compile, worker spawn
+# or socket dispatch, attributed to the knob it came from.
+
+
+def validate_study_config(config: StudyConfig) -> None:
+    """Raise :class:`~repro.errors.ReproError` on a malformed config."""
+    from repro.sim.machine import ensure_engine
+    from repro.suite.runner import validate_seeds
+    ensure_engine(config.engine)
+    validate_seeds(config.seeds, source="StudyConfig.seeds")
+    for level in config.levels:
+        try:
+            OptLevel(level)
+        except ValueError:
+            raise ReproError(
+                f"StudyConfig.levels contains {level!r}: not an "
+                f"optimization level (expected 0, 1 or 2)")
+
+
+def validate_exploration_config(config: ExplorationStudyConfig) -> None:
+    """Raise :class:`~repro.errors.ReproError` on a malformed config."""
+    from repro.sim.machine import ensure_engine
+    from repro.suite.runner import validate_seeds
+    ensure_engine(config.engine)
+    validate_seeds(config.seeds, source="ExplorationStudyConfig.seeds")
+    if not config.budgets:
+        raise ReproError(
+            "ExplorationStudyConfig.budgets is empty: pass at least one "
+            "area budget (e.g. budgets=(2500,))")
+    for budget in config.budgets:
+        if budget <= 0:
+            raise ReproError(
+                f"ExplorationStudyConfig.budgets contains {budget}: area "
+                f"budgets must be positive")
+    try:
+        OptLevel(config.level)
+    except ValueError:
+        raise ReproError(
+            f"ExplorationStudyConfig.level={config.level!r} is not an "
+            f"optimization level (expected 0, 1 or 2)")
+
+
+def validate_frontier_config(config: FrontierStudyConfig) -> None:
+    """Raise :class:`~repro.errors.ReproError` on a malformed config."""
+    from repro.sim.machine import ensure_engine
+    from repro.suite.runner import validate_seeds
+    ensure_engine(config.engine)
+    validate_seeds(config.seeds, source="FrontierStudyConfig.seeds")
+    if config.max_budget is not None and config.max_budget <= 0:
+        raise ReproError(
+            f"FrontierStudyConfig.max_budget={config.max_budget}: the "
+            f"sweep ceiling must be positive (or None for unbounded)")
+    try:
+        OptLevel(config.level)
+    except ValueError:
+        raise ReproError(
+            f"FrontierStudyConfig.level={config.level!r} is not an "
+            f"optimization level (expected 0, 1 or 2)")
+
+
+# -- the whole-result tier ---------------------------------------------------------
+
+
+def result_request_key(op: str, config) -> str:
+    """The whole-result disk-tier digest for one ``run_*`` call.
+
+    Keys over the operation, every config knob except ``jobs`` (``jobs=N``
+    is bit-identical to ``jobs=1`` by the executors' contract, so the
+    worker count must not partition results), the resolved benchmark
+    names each paired with a digest of its registered source, and
+    :func:`~repro.sim.diskcache.result_source_token` — an edit to any
+    toolchain source, a different seed list or a re-registered benchmark
+    all key differently, while the same question asked twice (daemon or
+    warm CLI, any worker count) keys identically.
+    """
+    import dataclasses
+    import hashlib
+    from repro.sim.diskcache import result_source_token
+    fields = dataclasses.asdict(config)
+    fields.pop("jobs", None)
+    names = (list(dict.fromkeys(config.benchmarks))
+             if config.benchmarks is not None
+             else [spec.name for spec in all_benchmarks()])
+    fields["benchmarks"] = [
+        (name,
+         hashlib.sha256(get_benchmark(name).source.encode()).hexdigest())
+        for name in names]
+    blob = f"{op}|{result_source_token()}|{sorted(fields.items())!r}"
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _result_tier(op: str, config):
+    """``(cache, key)`` when the whole-result tier applies, else
+    ``(None, None)``.  The tier is opt-in
+    (:data:`~repro.sim.diskcache.RESULT_ENV_VAR`) on top of an enabled
+    disk cache; the serve daemon turns it on for its process."""
+    from repro.sim.diskcache import get_cache, result_cache_enabled
+    if not result_cache_enabled():
+        return None, None
+    cache = get_cache()
+    if cache is None:
+        return None, None
+    return cache, result_request_key(op, config)
+
+
+def _load_cached_result(cache, key: str, result_type):
+    """A stored whole result of the expected type, or ``None``.
+
+    A payload of the wrong type (a stale or colliding entry) is
+    reclassified as corrupt via the guarded
+    :meth:`~repro.sim.diskcache.DiskCache.unusable` and regenerated.
+    """
+    from repro.sim.diskcache import RESULT_KIND
+    cached = cache.load(RESULT_KIND, key)
+    if cached is None:
+        return None
+    if not isinstance(cached, result_type):
+        cache.unusable(RESULT_KIND)
+        return None
+    return cached
+
+
+def _store_result(cache, key: str, result) -> None:
+    from repro.sim.diskcache import RESULT_KIND
+    cache.store(RESULT_KIND, key, result)
+
+
 def run_study(config: StudyConfig = StudyConfig(),
-              progress: Optional[ProgressFn] = None) -> StudyResult:
+              progress: Optional[ProgressFn] = None,
+              stats=None) -> StudyResult:
     """Execute the study described by *config*.
 
     With an effective ``jobs`` of 1 (the default) this is the serial
@@ -322,18 +453,30 @@ def run_study(config: StudyConfig = StudyConfig(),
     to :func:`repro.exec.study.execute_study`, which schedules cells on a
     process pool (level 0 first per benchmark — it is the semantic
     oracle — then levels 1/2 fan out) and produces bit-identical results.
+
+    With the whole-result tier on (:data:`~repro.sim.diskcache.
+    RESULT_ENV_VAR`), a repeat of a previously answered config returns
+    the stored result from disk — no compile, no simulation; ``progress``
+    does not fire on such a hit.  ``stats`` (a
+    :class:`~repro.exec.scheduler.ScheduleStats`) collects scheduler
+    accounting on the parallel path.
     """
     from repro.exec.pool import resolve_jobs
-    from repro.sim.machine import ensure_engine
-    from repro.suite.runner import validate_seeds
-    # Misconfiguration surfaces here, before any compile or worker
-    # spawn, attributed to the knob it came from.
-    ensure_engine(config.engine)
-    validate_seeds(config.seeds, source="StudyConfig.seeds")
+    validate_study_config(config)
+    cache, key = _result_tier("study", config)
+    if cache is not None:
+        cached = _load_cached_result(cache, key, StudyResult)
+        if cached is not None:
+            cached.config = config  # the stored twin differs in jobs only
+            return cached
     jobs = resolve_jobs(config.jobs)
     if jobs > 1:
         from repro.exec.study import execute_study
-        return execute_study(config, jobs=jobs, progress=progress)
+        result = execute_study(config, jobs=jobs, progress=progress,
+                               stats=stats)
+        if cache is not None:
+            _store_result(cache, key, result)
+        return result
 
     names = (list(config.benchmarks) if config.benchmarks is not None
              else [spec.name for spec in all_benchmarks()])
@@ -361,6 +504,8 @@ def run_study(config: StudyConfig = StudyConfig(),
                              else run.machine_result)
             study.runs[OptLevel(level)] = run
         result.benchmarks[name] = study
+    if cache is not None:
+        _store_result(cache, key, result)
     return result
 
 
@@ -371,8 +516,8 @@ ExploreProgressFn = Callable[[str, str], None]
 
 def run_exploration_study(
         config: ExplorationStudyConfig = ExplorationStudyConfig(),
-        progress: Optional[ExploreProgressFn] = None
-) -> ExplorationStudyResult:
+        progress: Optional[ExploreProgressFn] = None,
+        stats=None) -> ExplorationStudyResult:
     """Execute the suite-wide design-space exploration.
 
     Every (benchmark, budget) cell produces exactly the
@@ -384,37 +529,31 @@ def run_exploration_study(
     simulation gates its budget cells, different benchmarks proceed
     independently, and large seed lists shard across workers.  Results
     are bit-identical for any ``jobs`` value.
+
+    The whole-result tier and ``stats`` behave exactly as on
+    :func:`run_study`.
     """
     from repro.exec.explore import execute_exploration_study
     from repro.exec.pool import resolve_jobs
-    from repro.sim.machine import ensure_engine
-    from repro.suite.runner import validate_seeds
-    # Misconfiguration surfaces here, before any compile or worker
-    # spawn, attributed to the knob it came from.
-    ensure_engine(config.engine)
-    validate_seeds(config.seeds, source="ExplorationStudyConfig.seeds")
-    if not config.budgets:
-        raise ReproError(
-            "ExplorationStudyConfig.budgets is empty: pass at least one "
-            "area budget (e.g. budgets=(2500,))")
-    for budget in config.budgets:
-        if budget <= 0:
-            raise ReproError(
-                f"ExplorationStudyConfig.budgets contains {budget}: area "
-                f"budgets must be positive")
-    try:
-        OptLevel(config.level)
-    except ValueError:
-        raise ReproError(
-            f"ExplorationStudyConfig.level={config.level!r} is not an "
-            f"optimization level (expected 0, 1 or 2)")
+    validate_exploration_config(config)
+    cache, key = _result_tier("explore-study", config)
+    if cache is not None:
+        cached = _load_cached_result(cache, key, ExplorationStudyResult)
+        if cached is not None:
+            cached.config = config
+            return cached
     jobs = resolve_jobs(config.jobs)
-    return execute_exploration_study(config, jobs=jobs, progress=progress)
+    result = execute_exploration_study(config, jobs=jobs,
+                                       progress=progress, stats=stats)
+    if cache is not None:
+        _store_result(cache, key, result)
+    return result
 
 
 def run_frontier_study(
         config: FrontierStudyConfig = FrontierStudyConfig(),
-        progress: Optional[ExploreProgressFn] = None) -> FrontierResult:
+        progress: Optional[ExploreProgressFn] = None,
+        stats=None) -> FrontierResult:
     """Execute one incremental Pareto-frontier sweep per benchmark.
 
     Where :func:`run_exploration_study` re-ranks the candidate pool per
@@ -425,24 +564,22 @@ def run_frontier_study(
     bit-identical to the ``explore-study`` cell for that budget (pinned
     by ``tests/test_frontier.py``).  Results are identical for any
     ``jobs`` value.
+
+    The whole-result tier and ``stats`` behave exactly as on
+    :func:`run_study`.
     """
     from repro.exec.explore import execute_frontier_study
     from repro.exec.pool import resolve_jobs
-    from repro.sim.machine import ensure_engine
-    from repro.suite.runner import validate_seeds
-    # Misconfiguration surfaces here, before any compile or worker
-    # spawn, attributed to the knob it came from.
-    ensure_engine(config.engine)
-    validate_seeds(config.seeds, source="FrontierStudyConfig.seeds")
-    if config.max_budget is not None and config.max_budget <= 0:
-        raise ReproError(
-            f"FrontierStudyConfig.max_budget={config.max_budget}: the "
-            f"sweep ceiling must be positive (or None for unbounded)")
-    try:
-        OptLevel(config.level)
-    except ValueError:
-        raise ReproError(
-            f"FrontierStudyConfig.level={config.level!r} is not an "
-            f"optimization level (expected 0, 1 or 2)")
+    validate_frontier_config(config)
+    cache, key = _result_tier("frontier", config)
+    if cache is not None:
+        cached = _load_cached_result(cache, key, FrontierResult)
+        if cached is not None:
+            cached.config = config
+            return cached
     jobs = resolve_jobs(config.jobs)
-    return execute_frontier_study(config, jobs=jobs, progress=progress)
+    result = execute_frontier_study(config, jobs=jobs, progress=progress,
+                                    stats=stats)
+    if cache is not None:
+        _store_result(cache, key, result)
+    return result

@@ -1,0 +1,123 @@
+"""Synchronous client for the repro service.
+
+The counterpart of :mod:`repro.serve.daemon` for tests, scripts and the
+CI smoke job: connect, send JSON-line requests, read JSON-line
+responses.  :func:`wait_for_server` polls until a freshly launched
+daemon accepts connections.  ``python -m repro.serve.client --socket S
+'{"op": "status"}'`` is the one-shot command-line form.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Optional
+
+from repro.errors import ReproError
+
+
+class ServeClient:
+    """One connection to a running daemon (usable as a context
+    manager).  Requests on one connection are answered in order."""
+
+    def __init__(self, socket_path: Optional[str] = None,
+                 host: str = "127.0.0.1", port: Optional[int] = None,
+                 timeout: float = 600.0):
+        if socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            try:
+                sock.connect(str(socket_path))
+            except OSError:
+                sock.close()
+                raise
+        elif port is not None:
+            sock = socket.create_connection((host, port),
+                                            timeout=timeout)
+            sock.settimeout(timeout)
+        else:
+            raise ReproError(
+                "ServeClient needs a socket path or a TCP port")
+        self._sock = sock
+        self._file = sock.makefile("rb")
+
+    def request_raw(self, request: dict) -> bytes:
+        """Send one request, return the raw response line (newline
+        stripped) — the form the bit-identity tests compare."""
+        self._sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
+        line = self._file.readline()
+        if not line:
+            raise ReproError("repro serve closed the connection")
+        return line.rstrip(b"\n")
+
+    def request(self, request: dict) -> dict:
+        """Send one request, return the decoded response object."""
+        return json.loads(self.request_raw(request).decode("utf-8"))
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def wait_for_server(socket_path: Optional[str] = None,
+                    host: str = "127.0.0.1",
+                    port: Optional[int] = None,
+                    timeout: float = 30.0,
+                    interval: float = 0.05) -> ServeClient:
+    """Poll until the daemon accepts a connection; returns the
+    connected client (the CI smoke job's startup handshake)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            return ServeClient(socket_path=socket_path, host=host,
+                               port=port)
+        except (OSError, ReproError):
+            if time.monotonic() >= deadline:
+                where = socket_path or f"{host}:{port}"
+                raise ReproError(
+                    f"no repro serve daemon answered at {where} "
+                    f"within {timeout:.0f}s")
+            time.sleep(interval)
+
+
+def main(argv=None) -> int:
+    """One request from the command line; exits 0 iff ``ok``."""
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.client",
+        description="send one JSON request to a repro serve daemon")
+    parser.add_argument("--socket", default=None,
+                        help="Unix socket path the daemon listens on")
+    parser.add_argument("--port", type=int, default=None,
+                        help="local TCP port the daemon listens on")
+    parser.add_argument("--wait", action="store_true",
+                        help="poll until the daemon accepts connections")
+    parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument("request", help="the JSON request object")
+    args = parser.parse_args(argv)
+    request = json.loads(args.request)
+    if args.wait:
+        client = wait_for_server(socket_path=args.socket,
+                                 port=args.port, timeout=args.timeout)
+    else:
+        client = ServeClient(socket_path=args.socket, port=args.port,
+                             timeout=args.timeout)
+    try:
+        response = client.request(request)
+    finally:
+        client.close()
+    print(json.dumps(response, indent=2, sort_keys=True))
+    return 0 if response.get("ok") else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -412,3 +412,47 @@ class TestReport:
                              "--levels", "0,1")
         assert code == 0
         assert "## Cycle counts" in text
+
+
+class TestServeCommand:
+    def test_serve_requires_endpoint(self):
+        code, _text = run_cli("serve")
+        assert code == 2
+
+    def test_serve_status_queries_daemon(self, tmp_path, monkeypatch):
+        from repro.serve import ReproServer, ServeClient
+        from repro.sim import diskcache
+        monkeypatch.setenv(diskcache.CACHE_ENV_VAR,
+                           str(tmp_path / "cache"))
+        diskcache.reset_cache_state()
+        sock = str(tmp_path / "s.sock")
+        srv = ReproServer(socket_path=sock, jobs=1)
+        thread = srv.run_in_thread()
+        try:
+            code, text = run_cli("serve", "--socket", sock, "--status")
+            assert code == 0
+            assert '"result_cache_enabled"' in text
+            assert '"stats"' in text
+        finally:
+            with ServeClient(socket_path=sock) as client:
+                client.request({"op": "shutdown"})
+            thread.join(30)
+            diskcache.reset_cache_state()
+        assert not thread.is_alive()
+
+    def test_result_cache_flag_exports_env(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.sim import diskcache
+        # setenv first so monkeypatch restores the pre-test state even
+        # though main() overwrites the variable.
+        monkeypatch.setenv(diskcache.RESULT_ENV_VAR, "0")
+        monkeypatch.setenv(diskcache.CACHE_ENV_VAR, str(tmp_path))
+        diskcache.reset_cache_state()
+        code, _text = run_cli("study", "--benchmarks", "sewha",
+                              "--levels", "0", "--result-cache")
+        assert code == 0
+        assert os.environ[diskcache.RESULT_ENV_VAR] == "1"
+        cache = diskcache.get_cache()
+        assert cache.stores[diskcache.RESULT_KIND] == 1
+        diskcache.reset_cache_state()

@@ -369,3 +369,226 @@ class TestLifecycle:
             assert kinds == {"bytecode", "codegen"}
         finally:
             shutdown_pool()
+
+
+class TestSizeCapEviction:
+    """The LRU eviction pass (REPRO_CACHE_MAX_MB) and its accounting."""
+
+    def fill(self, cache, count, kind="bytecode", size=4096):
+        digests = []
+        for i in range(count):
+            digest = f"{i:064x}"
+            assert cache.store(kind, digest, {"blob": "x" * size})
+            digests.append(digest)
+        return digests
+
+    def backdate(self, cache, kind, digests, start=1_000_000_000):
+        # Distinct, strictly increasing recencies, far in the past.
+        for i, digest in enumerate(digests):
+            path = cache.entry_path(kind, digest)
+            os.utime(path, (start + i, start + i))
+
+    def test_lru_order_oldest_first(self, cache_dir):
+        cache = DiskCache(cache_dir)
+        digests = self.fill(cache, 4)
+        self.backdate(cache, "bytecode", digests)
+        entry_size = cache.entry_path(
+            "bytecode", digests[0]).stat().st_size
+        evicted = cache.evict_to_cap(max_bytes=2 * entry_size)
+        assert evicted == 2
+        survivors = [d for d in digests
+                     if cache.entry_path("bytecode", d).exists()]
+        assert survivors == digests[2:]  # the two most recent
+        assert cache.evictions["bytecode"] == 2
+        assert cache.evicted_bytes["bytecode"] == 2 * entry_size
+        assert cache.op_count["evict"] == 1
+        assert cache.op_seconds["evict"] >= 0.0
+        assert cache.total_bytes() <= 2 * entry_size
+
+    def test_hit_refreshes_recency(self, cache_dir):
+        cache = DiskCache(cache_dir)
+        digests = self.fill(cache, 2)
+        self.backdate(cache, "bytecode", digests)
+        # digests[0] is the older entry, but a hit bumps its atime...
+        assert cache.load("bytecode", digests[0]) is not None
+        entry_size = cache.entry_path(
+            "bytecode", digests[0]).stat().st_size
+        cache.evict_to_cap(max_bytes=entry_size)
+        # ...so the *unread* entry is the LRU one and goes first.
+        assert cache.entry_path("bytecode", digests[0]).exists()
+        assert not cache.entry_path("bytecode", digests[1]).exists()
+
+    def test_pinned_entries_never_evicted(self, cache_dir):
+        cache = DiskCache(cache_dir)
+        digests = self.fill(cache, 3)
+        self.backdate(cache, "bytecode", digests)
+        cache.pin("bytecode", digests[0])
+        cache.pin("bytecode", digests[0])  # refcounted: two holders
+        assert cache.is_pinned("bytecode", digests[0])
+        assert cache.evict_to_cap(max_bytes=0) == 2
+        assert cache.entry_path("bytecode", digests[0]).exists()
+        cache.unpin("bytecode", digests[0])
+        assert cache.is_pinned("bytecode", digests[0])  # one holder left
+        cache.unpin("bytecode", digests[0])
+        assert not cache.is_pinned("bytecode", digests[0])
+        assert cache.evict_to_cap(max_bytes=0) == 1
+        assert not cache.entry_path("bytecode", digests[0]).exists()
+
+    def test_store_triggers_eviction_under_env_cap(self, cache_dir,
+                                                   monkeypatch):
+        monkeypatch.setenv(diskcache.MAX_MB_ENV_VAR, "0.02")  # ~20 KiB
+        cache = DiskCache(cache_dir)
+        self.fill(cache, 12, size=4096)  # ~4 KiB+ each, 12 stores
+        cap = diskcache.resolve_max_bytes()
+        assert cap == int(0.02 * 1024 * 1024)
+        assert cache.total_bytes() <= cap
+        assert sum(cache.evictions.values()) > 0
+        # the freshest entry always survives its own store's eviction
+        assert cache.entry_path("bytecode", f"{11:064x}").exists()
+
+    def test_malformed_cap_is_uncapped_on_hot_path(self, cache_dir,
+                                                   monkeypatch):
+        monkeypatch.setenv(diskcache.MAX_MB_ENV_VAR, "banana")
+        assert diskcache.resolve_max_bytes() is None
+        with pytest.raises(Exception, match="REPRO_CACHE_MAX_MB"):
+            diskcache.resolve_max_bytes(strict=True)
+        monkeypatch.setenv(diskcache.MAX_MB_ENV_VAR, "-3")
+        assert diskcache.resolve_max_bytes() is None
+        cache = DiskCache(cache_dir)
+        self.fill(cache, 2)  # stores never raise under a bad knob
+        assert not cache.evictions
+
+
+class TestStaleTmpSweep:
+    """Orphaned atomic-write temporaries are age-gated and reaped."""
+
+    def plant(self, cache, age, name="deadbeef0000.orphan.tmp"):
+        cache.entry_dir.mkdir(parents=True, exist_ok=True)
+        orphan = cache.entry_dir / f".{name}"
+        orphan.write_bytes(b"half-written entry")
+        stamp = __import__("time").time() - age
+        os.utime(orphan, (stamp, stamp))
+        return orphan
+
+    def test_eviction_scan_reaps_old_spares_fresh(self, cache_dir):
+        cache = DiskCache(cache_dir)
+        old = self.plant(cache, age=2 * diskcache.TMP_SWEEP_AGE_SECONDS)
+        fresh = self.plant(cache, age=0, name="deadbeef0001.live.tmp")
+        assert cache.evict_to_cap(max_bytes=1 << 30) == 0
+        assert not old.exists()  # crashed writer's leftover: reaped
+        assert fresh.exists()    # presumed still-racing writer: kept
+        assert cache.tmp_swept == 1
+
+    def test_clear_reaps_tmp_files_of_any_age(self, cache_dir):
+        cache = DiskCache(cache_dir)
+        run_module(fresh_graph_module(), INPUTS, engine="bytecode")
+        live = get_cache()
+        self.plant(live, age=0)
+        assert live.clear() == 2  # one entry + one orphan
+        assert not live.tmp_files()
+        assert live.tmp_swept == 1
+        _ = cache
+
+    def test_sweep_is_idempotent(self, cache_dir):
+        cache = DiskCache(cache_dir)
+        self.plant(cache, age=2 * diskcache.TMP_SWEEP_AGE_SECONDS)
+        assert cache.sweep_stale_tmp() == 1
+        assert cache.sweep_stale_tmp() == 0
+        assert cache.tmp_swept == 1
+
+
+class TestCounterGuards:
+    """unusable()/reject() can never drive the counters negative."""
+
+    def seed_hit(self, cache):
+        assert cache.store("bytecode", "a" * 64, {"blob": 1})
+        assert cache.load("bytecode", "a" * 64) is not None
+
+    def test_reject_without_hit_is_a_counted_noop(self, cache_dir):
+        cache = DiskCache(cache_dir)
+        assert cache.reject("bytecode") is False
+        assert cache.unusable("bytecode") is False
+        assert cache.hits["bytecode"] == 0
+        assert cache.rejected["bytecode"] == 0
+        assert cache.corrupt["bytecode"] == 0
+
+    def test_double_reject_stops_at_zero(self, cache_dir):
+        cache = DiskCache(cache_dir)
+        self.seed_hit(cache)
+        assert cache.reject("bytecode") is True
+        assert cache.hits["bytecode"] == 0
+        assert cache.rejected["bytecode"] == 1
+        assert cache.misses["bytecode"] == 1
+        # a second reclassification has no hit to convert
+        assert cache.reject("bytecode") is False
+        assert cache.unusable("bytecode") is False
+        snapshot = cache.stats_snapshot()
+        for kind_stats in snapshot["kinds"].values():
+            for value in kind_stats.values():
+                assert value >= 0
+
+    def test_snapshot_shape_and_nonnegativity(self, cache_dir):
+        cache = DiskCache(cache_dir)
+        self.seed_hit(cache)
+        cache.load("bytecode", "0" * 64)  # a miss
+        cache.evict_to_cap(max_bytes=0)
+        snapshot = cache.stats_snapshot()
+        assert snapshot["root"] == str(cache_dir)
+        assert set(snapshot["ops"]) == {"hit", "miss", "store", "evict"}
+        for op_stats in snapshot["ops"].values():
+            assert op_stats["count"] >= 1
+            assert op_stats["seconds"] >= 0.0
+        assert snapshot["pinned"] == 0
+        assert snapshot["tmp_swept"] >= 0
+
+
+class TestResultTier:
+    """The whole-result tier: opt-in, round-trip, invalidation token."""
+
+    def test_off_by_default(self, cache_dir, monkeypatch):
+        monkeypatch.delenv(diskcache.RESULT_ENV_VAR, raising=False)
+        assert not diskcache.result_cache_enabled()
+        for truthy in ("1", "true", "ON", "yes"):
+            monkeypatch.setenv(diskcache.RESULT_ENV_VAR, truthy)
+            assert diskcache.result_cache_enabled()
+        monkeypatch.setenv(diskcache.RESULT_ENV_VAR, "0")
+        assert not diskcache.result_cache_enabled()
+
+    def test_source_token_is_stable(self):
+        token = diskcache.result_source_token()
+        assert token == diskcache.result_source_token()
+        assert len(token) == 16
+        int(token, 16)  # hex
+
+    def test_run_study_round_trips_through_disk(self, cache_dir,
+                                                monkeypatch):
+        from repro.feedback.results import study_summary
+        from repro.feedback.study import StudyConfig, run_study
+        monkeypatch.setenv(diskcache.RESULT_ENV_VAR, "1")
+        config = StudyConfig(benchmarks=("sewha",), levels=(0, 1))
+        first = run_study(config)
+        cache = get_cache()
+        assert cache.stores[diskcache.RESULT_KIND] == 1
+        # The repeat is served whole from disk: no run_benchmark calls.
+        import repro.feedback.study as study_mod
+
+        def boom(*_a, **_k):
+            raise AssertionError("result-tier hit must not simulate")
+
+        monkeypatch.setattr(study_mod, "run_benchmark", boom)
+        second = run_study(config)
+        assert cache.hits[diskcache.RESULT_KIND] == 1
+        assert study_summary(second) == study_summary(first)
+        assert second.config is config  # jobs-twin config swapped in
+
+    def test_jobs_knob_shares_one_result_key(self, cache_dir):
+        from repro.feedback.study import StudyConfig, result_request_key
+        base = StudyConfig(benchmarks=("sewha",))
+        assert result_request_key("study", base) == \
+            result_request_key("study", StudyConfig(benchmarks=("sewha",),
+                                                    jobs=4))
+        assert result_request_key("study", base) != \
+            result_request_key("study", StudyConfig(benchmarks=("sewha",),
+                                                    seed=1))
+        assert result_request_key("study", base) != \
+            result_request_key("explore-study", base)

@@ -460,6 +460,19 @@ def _crash_worker(_item):
     os._exit(13)  # simulate a worker process dying mid-task
 
 
+def _crash_once(args):
+    # Dies the first time any worker runs it (filesystem sentinel), then
+    # behaves: the shape of a transient worker death (OOM kill, stray
+    # signal) that parallel_map's one-shot rebuild-and-retry absorbs.
+    path, x = args
+    try:
+        with open(path, "x"):
+            pass
+    except FileExistsError:
+        return 2 * x
+    os._exit(13)
+
+
 def _cached_probe(key):
     from repro.exec.pool import worker_cached
     first = worker_cached(key, object)
@@ -606,12 +619,27 @@ class TestBrokenPoolRecovery:
                                       retried.benchmark(name).run_at(level))
 
     def test_parallel_map_crash_recovery(self):
+        # A *persistently* crashing worker breaks the retried pool too:
+        # the error still reaches the caller and the pool stays
+        # discarded.
         from concurrent.futures.process import BrokenProcessPool
         with pytest.raises(BrokenProcessPool):
             parallel_map(_crash_worker, list(range(6)), jobs=2)
         assert pool_mod._pool is None
         assert parallel_map(_double, list(range(6)), jobs=2) == \
             [2 * x for x in range(6)]
+
+    def test_parallel_map_transient_crash_retried_once(self, tmp_path):
+        # A worker that dies once (then behaves) never surfaces to the
+        # caller: the map is re-dispatched on a fresh pool and returns
+        # the full, ordered result.
+        sentinel = tmp_path / "crashed-once"
+        results = parallel_map(_crash_once,
+                               [(str(sentinel), x) for x in range(6)],
+                               jobs=2)
+        assert results == [2 * x for x in range(6)]
+        assert sentinel.exists()  # the crash really happened
+        assert pool_mod._pool is not None  # rebuilt and healthy
 
 
 class TestInputValidation:

@@ -1,0 +1,354 @@
+"""Repro-as-a-service: dedup, the whole-result tier, live-entry safety.
+
+The daemon's contract, pinned here:
+
+* N concurrent identical requests run **one** evaluation and every
+  client receives bit-identical response bytes;
+* a repeated request is served from the whole-result disk tier without
+  touching the executors (and survives a daemon restart);
+* while a request is live, its result-tier entry is pinned — an
+  eviction pass under any cap must not remove it;
+* a served ``explore-study`` answer is the same document a direct
+  ``run_exploration_study`` call (tier off) produces;
+* malformed requests are answered with ``ok: false`` and the daemon
+  stays up.
+
+Each test gets a private cache directory and its own daemon on a Unix
+socket under ``tmp_path``.
+"""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.errors import ReproError
+from repro.feedback import study as study_api
+from repro.serve import ReproServer, ServeClient, wait_for_server
+from repro.serve import protocol
+from repro.sim import diskcache
+
+EXPLORE_REQ = {"op": "explore-study", "benchmarks": ["sewha"],
+               "budgets": [2500], "jobs": 1}
+
+ANALYZE_SRC = ("int a[8]; int b[8]; void main() { int i; "
+               "for (i = 0; i < 8; i = i + 1) "
+               "{ b[i] = a[i] * 3 + 1; } }")
+
+
+def wait_until(predicate, timeout=30.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+@pytest.fixture()
+def serve_env(tmp_path, monkeypatch):
+    monkeypatch.setenv(diskcache.CACHE_ENV_VAR, str(tmp_path / "cache"))
+    monkeypatch.setenv(diskcache.RESULT_ENV_VAR, "1")
+    monkeypatch.delenv(diskcache.MAX_MB_ENV_VAR, raising=False)
+    diskcache.reset_cache_state()
+    yield tmp_path
+    diskcache.reset_cache_state()
+
+
+@pytest.fixture()
+def server(serve_env):
+    srv = ReproServer(socket_path=str(serve_env / "serve.sock"), jobs=1)
+    thread = srv.run_in_thread()
+    yield srv
+    if thread.is_alive():
+        with ServeClient(socket_path=srv.socket_path) as client:
+            client.request({"op": "shutdown"})
+        thread.join(30)
+    assert not thread.is_alive()
+
+
+def connect(srv) -> ServeClient:
+    return wait_for_server(socket_path=srv.socket_path)
+
+
+class TestDedup:
+    def test_concurrent_identical_requests_evaluate_once(
+            self, server, monkeypatch):
+        real = study_api.run_exploration_study
+        calls = []
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated(config, progress=None, stats=None):
+            calls.append(config)
+            entered.set()
+            assert release.wait(60)
+            return real(config, progress=progress, stats=stats)
+
+        monkeypatch.setattr(study_api, "run_exploration_study", gated)
+        raws = [None] * 4
+
+        def post(i):
+            with connect(server) as client:
+                raws[i] = client.request_raw(EXPLORE_REQ)
+
+        threads = [threading.Thread(target=post, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        assert entered.wait(30)
+        # every other request coalesces onto the in-flight evaluation
+        assert wait_until(
+            lambda: server.stats.dedup_coalesced == 3)
+        # the live request's result-tier key is pinned against eviction
+        cache = diskcache.get_cache()
+        key = study_api.result_request_key("explore-study", calls[0])
+        assert cache.is_pinned(diskcache.RESULT_KIND, key)
+        release.set()
+        for t in threads:
+            t.join(120)
+        assert len(calls) == 1  # exactly one evaluation
+        assert all(isinstance(raw, bytes) for raw in raws)
+        assert len({raw for raw in raws}) == 1  # bit-identical bytes
+        assert server.stats.dispatches == 1
+        assert server.stats.result_misses == 1
+        assert server.stats.result_hits == 0
+        assert not cache.is_pinned(diskcache.RESULT_KIND, key)
+
+    def test_served_answer_matches_direct_call(self, server,
+                                               monkeypatch):
+        with connect(server) as client:
+            response = client.request(EXPLORE_REQ)
+        assert response["ok"]
+        # The same question answered directly by the library (tier off,
+        # so it really evaluates) yields the same document.
+        monkeypatch.setenv(diskcache.RESULT_ENV_VAR, "0")
+        config = protocol.build_config(
+            protocol.canonical_request(EXPLORE_REQ))
+        direct = protocol.exploration_payload(
+            study_api.run_exploration_study(config))
+        assert response["result"] == json.loads(json.dumps(direct))
+
+
+class TestResultTier:
+    def test_repeat_served_from_disk_without_executors(
+            self, server, monkeypatch):
+        with connect(server) as client:
+            first = client.request(EXPLORE_REQ)
+            assert first["ok"]
+            assert first["meta"]["result_cache"] == "miss"
+
+            # From here on, any executor dispatch is an error: the
+            # repeat must be answered entirely from the disk tier.
+            import repro.exec.explore as explore_mod
+
+            def boom(*_a, **_k):
+                raise AssertionError(
+                    "result-tier hit must not reach the executors")
+
+            monkeypatch.setattr(explore_mod,
+                                "execute_exploration_study", boom)
+            second = client.request(EXPLORE_REQ)
+        assert second["ok"]
+        assert second["meta"]["result_cache"] == "hit"
+        assert second["result"] == first["result"]
+        assert server.stats.result_hits == 1
+
+    def test_restart_serves_from_disk(self, serve_env, monkeypatch):
+        sock_a = str(serve_env / "a.sock")
+        srv_a = ReproServer(socket_path=sock_a, jobs=1)
+        thread_a = srv_a.run_in_thread()
+        with wait_for_server(socket_path=sock_a) as client:
+            first = client.request(EXPLORE_REQ)
+            assert first["ok"]
+            client.request({"op": "shutdown"})
+        thread_a.join(60)
+
+        # A fresh daemon process-equivalent: new server, new cache
+        # handle, executors booby-trapped — only the disk tier answers.
+        diskcache.reset_cache_state()
+        import repro.exec.explore as explore_mod
+
+        def boom(*_a, **_k):
+            raise AssertionError("restart repeat must not evaluate")
+
+        monkeypatch.setattr(explore_mod, "execute_exploration_study",
+                            boom)
+        sock_b = str(serve_env / "b.sock")
+        srv_b = ReproServer(socket_path=sock_b, jobs=1)
+        thread_b = srv_b.run_in_thread()
+        with wait_for_server(socket_path=sock_b) as client:
+            second = client.request(EXPLORE_REQ)
+            client.request({"op": "shutdown"})
+        thread_b.join(60)
+        assert second["ok"]
+        assert second["meta"]["result_cache"] == "hit"
+        assert second["result"] == first["result"]
+
+    def test_eviction_under_cap_spares_live_entry(self, server,
+                                                  monkeypatch):
+        # Prime: the result entry lands on disk.
+        with connect(server) as client:
+            assert client.request(EXPLORE_REQ)["ok"]
+        cache = diskcache.get_cache()
+        config = protocol.build_config(
+            protocol.canonical_request(EXPLORE_REQ))
+        key = study_api.result_request_key("explore-study", config)
+        entry = cache.entry_path(diskcache.RESULT_KIND, key)
+        assert entry.exists()
+
+        # Re-request with the evaluation gated open, then run an
+        # eviction pass with a zero cap while the request is live: the
+        # pinned entry must survive (everything else may go).
+        real = study_api.run_exploration_study
+        entered = threading.Event()
+        release = threading.Event()
+
+        def gated(cfg, progress=None, stats=None):
+            entered.set()
+            assert release.wait(60)
+            return real(cfg, progress=progress, stats=stats)
+
+        monkeypatch.setattr(study_api, "run_exploration_study", gated)
+        responses = []
+
+        def post():
+            with connect(server) as client:
+                responses.append(client.request(EXPLORE_REQ))
+
+        thread = threading.Thread(target=post)
+        thread.start()
+        assert entered.wait(30)
+        assert cache.is_pinned(diskcache.RESULT_KIND, key)
+        cache.evict_to_cap(max_bytes=0)
+        assert entry.exists(), "live request's entry was evicted"
+        release.set()
+        thread.join(120)
+        assert responses[0]["ok"]
+        assert responses[0]["meta"]["result_cache"] == "hit"
+
+
+class TestSimpleOps:
+    def test_analyze_round_trip_and_repeat_hit(self, server):
+        request = {"op": "analyze", "source": ANALYZE_SRC}
+        with connect(server) as client:
+            first = client.request(request)
+            second = client.request(request)
+        assert first["ok"]
+        assert first["result"]["cycles"] > 0
+        assert first["result"]["total_ops"] > 0
+        assert first["meta"]["result_cache"] == "miss"
+        assert second["meta"]["result_cache"] == "hit"
+        assert second["result"] == first["result"]
+
+    def test_explore_round_trip(self, server):
+        request = {"op": "explore", "benchmark": "sewha", "jobs": 1}
+        with connect(server) as client:
+            response = client.request(request)
+        assert response["ok"]
+        result = response["result"]
+        assert result["candidates"]
+        assert result["best"] is None or result["best"]["speedup"] > 0
+
+
+class TestValidationAndStatus:
+    def test_bad_requests_answered_daemon_stays_up(self, server):
+        bad = [
+            "not json at all",
+            json.dumps(["a", "list"]),
+            json.dumps({"op": "warp"}),
+            json.dumps({"op": "explore-study", "bogus": 1}),
+            json.dumps({"op": "explore-study", "budgets": []}),
+            json.dumps({"op": "study", "seeds": [0, 0]}),
+            json.dumps({"op": "study", "engine": "turbo"}),
+            json.dumps({"op": "explore-study",
+                        "benchmarks": ["no-such-benchmark"]}),
+            json.dumps({"op": "analyze", "source": "   "}),
+            json.dumps({"op": "explore", "benchmark": "sewha",
+                        "budget": -5}),
+        ]
+        with connect(server) as client:
+            for line in bad:
+                raw = client.request_raw(
+                    json.loads(line) if line.startswith(("{", "["))
+                    else {"op": line})
+                response = json.loads(raw.decode())
+                assert response["ok"] is False
+                assert response["error"]
+            status = client.request({"op": "status"})
+        assert status["ok"]
+        assert status["result"]["stats"]["errors"] == len(bad)
+        assert status["result"]["stats"]["evaluations"] == 0
+
+    def test_field_errors_name_the_field(self, server):
+        with connect(server) as client:
+            response = client.request({"op": "study", "seed": "zero"})
+            assert "'seed'" in response["error"]
+            response = client.request({"op": "explore"})
+            assert "'benchmark'" in response["error"]
+
+    def test_status_shape(self, server):
+        with connect(server) as client:
+            status = client.request({"op": "status"})["result"]
+        assert status["result_cache_enabled"] is True
+        assert status["cache_max_bytes"] is None
+        assert status["inflight"] == 0
+        assert status["uptime_seconds"] >= 0
+        assert set(status["pool"]) == {"alive", "workers"}
+        stats = status["stats"]
+        for field in ("requests", "errors", "dispatches",
+                      "dedup_coalesced", "evaluations", "result_hits",
+                      "result_misses", "evaluation_seconds",
+                      "tasks_executed", "max_tasks_in_flight"):
+            assert stats[field] >= 0
+        cache_stats = status["cache"]
+        assert cache_stats["pinned"] == 0
+
+    def test_shutdown_is_clean(self, serve_env):
+        sock = str(serve_env / "down.sock")
+        srv = ReproServer(socket_path=sock, jobs=1)
+        thread = srv.run_in_thread()
+        with wait_for_server(socket_path=sock) as client:
+            response = client.request({"op": "shutdown"})
+        assert response["ok"] and response["result"]["stopping"]
+        thread.join(30)
+        assert not thread.is_alive()
+        assert not os.path.exists(sock)  # socket file unlinked
+
+
+class TestProtocol:
+    def test_digest_ignores_spelled_out_defaults_and_order(self):
+        a = protocol.canonical_request(dict(EXPLORE_REQ))
+        b = protocol.canonical_request(
+            {"budgets": [2500], "op": "explore-study", "jobs": 1,
+             "benchmarks": ["sewha"], "seed": 0, "level": 1})
+        assert protocol.request_digest(a) == protocol.request_digest(b)
+        c = protocol.canonical_request(
+            dict(EXPLORE_REQ, seed=1))
+        assert protocol.request_digest(a) != protocol.request_digest(c)
+
+    def test_jobs_changes_digest_but_not_result_key(self):
+        # jobs=N is bit-identical by contract, so the *result* key
+        # ignores it — but dedup keys on the full request.
+        base = protocol.build_config(
+            protocol.canonical_request(dict(EXPLORE_REQ)))
+        other = protocol.build_config(
+            protocol.canonical_request(dict(EXPLORE_REQ, jobs=2)))
+        assert study_api.result_request_key("explore-study", base) == \
+            study_api.result_request_key("explore-study", other)
+
+    def test_server_requires_an_endpoint(self):
+        with pytest.raises(ReproError, match="socket path or a TCP"):
+            ReproServer()
+
+    def test_tcp_port_zero_binds_ephemeral(self, serve_env):
+        srv = ReproServer(port=0, jobs=1)
+        thread = srv.run_in_thread()
+        assert srv.bound_port
+        with ServeClient(port=srv.bound_port) as client:
+            assert client.request({"op": "status"})["ok"]
+            client.request({"op": "shutdown"})
+        thread.join(30)
+        assert not thread.is_alive()
