@@ -1,0 +1,54 @@
+"""Lane-tier guard-elimination benchmarks.
+
+The lane engine emits the same proof-carrying unguarded loads as the
+codegen tier, amortized over a whole batch of seeds.  Each
+``batch_ranges_off`` leg (fully guarded, ``REPRO_RANGES=0``) is the
+denominator of the speedup recorded by the matching ``batch_ranges_on``
+leg; the CI lane-bench step's ``-k "batch or lanegen"`` filter picks
+these legs up into ``bench_lanes.json`` alongside the lane-vs-codegen
+legs of ``bench_engine.py``.
+"""
+
+import pytest
+
+from repro.opt.pipeline import OptLevel, optimize_module
+from repro.sim.machine import run_module_batch
+from repro.suite.registry import get_benchmark
+from repro.suite.runner import compile_benchmark
+
+#: Same load-heavy kernels as bench_engine.py's guard-elimination legs.
+GUARD_ELIM_BENCHES = ("fir", "iir", "smooth")
+
+#: Same batch width as bench_engine.py's lane-vs-codegen legs.
+BATCH_SEEDS = tuple(range(8))
+
+
+def _batch_cell(name):
+    spec = get_benchmark(name)
+    gm, _ = optimize_module(compile_benchmark(spec), OptLevel(2))
+    return gm, [spec.generate_inputs(s) for s in BATCH_SEEDS]
+
+
+@pytest.mark.parametrize("name", GUARD_ELIM_BENCHES)
+def test_lanes_batch_ranges_off(benchmark, name, monkeypatch):
+    """Fully guarded lane batch (REPRO_RANGES=0)."""
+    monkeypatch.setenv("REPRO_RANGES", "0")
+    gm, inputs_list = _batch_cell(name)
+    run_module_batch(gm, inputs_list, engine="lanes")  # generate once
+    results = benchmark(run_module_batch, gm, inputs_list,
+                        engine="lanes")
+    assert len(results) == len(BATCH_SEEDS)
+
+
+@pytest.mark.parametrize("name", GUARD_ELIM_BENCHES)
+def test_lanes_batch_ranges_on(benchmark, name, monkeypatch):
+    """Guard-eliminated lane batch: the ratio against
+    ``test_lanes_batch_ranges_off[name]`` is the recorded win."""
+    monkeypatch.delenv("REPRO_RANGES", raising=False)
+    gm, inputs_list = _batch_cell(name)
+    from repro.sim.lanes import generate_lane_module
+    assert generate_lane_module(gm, len(BATCH_SEEDS)).bounds is not None
+    run_module_batch(gm, inputs_list, engine="lanes")
+    results = benchmark(run_module_batch, gm, inputs_list,
+                        engine="lanes")
+    assert len(results) == len(BATCH_SEEDS)

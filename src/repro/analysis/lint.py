@@ -286,11 +286,17 @@ def lint_paths(paths: Iterable[str]) -> VerifyResult:
 
 def default_lint_paths() -> List[str]:
     """The artifact-shaping packages the repo holds to the lint:
-    ``sim/`` (emitters, caches) and ``exec/`` (result assembly)."""
+    ``sim/`` (emitters, caches), ``exec/`` (result assembly), ``serve/``
+    (request dedup and cache tiers) and ``analysis/`` (verifiers and the
+    range analyzer — their reports and certificates must be stable)."""
+    import repro.analysis
     import repro.exec
+    import repro.serve
     import repro.sim
     return [os.path.dirname(repro.sim.__file__),
-            os.path.dirname(repro.exec.__file__)]
+            os.path.dirname(repro.exec.__file__),
+            os.path.dirname(repro.serve.__file__),
+            os.path.dirname(repro.analysis.__file__)]
 
 
 def lint_determinism() -> VerifyResult:

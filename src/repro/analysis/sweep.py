@@ -57,6 +57,10 @@ class SweepReport:
     """Every cell of one ``repro verify`` sweep."""
 
     cells: List[SweepCell] = field(default_factory=list)
+    #: (benchmark, level) -> {"SAFE": n, "UNKNOWN": n, "UNSAFE": n} when the
+    #: sweep ran with range analysis enabled.
+    ranges: Dict[Tuple[str, int], Dict[str, int]] = field(
+        default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -102,10 +106,43 @@ def _verify_tier(tier: str, graph_module, n_lanes: int) -> VerifyResult:
     raise ValueError(f"unknown tier {tier!r}")
 
 
+def _range_cell(benchmark: str, level: int, graph_module) -> Tuple[
+        SweepCell, Dict[str, int]]:
+    """Run the interval analysis over one optimized module.
+
+    Every classified access counts as one check; a definite ``UNSAFE``
+    access is a static violation — the program is reported without ever
+    being executed.
+    """
+    from repro.analysis import ranges as _ranges
+
+    cell = SweepCell(benchmark, level, "ranges")
+    try:
+        mranges = _ranges.analyze_module(graph_module)
+    except Exception as exc:  # a crash is itself a finding
+        cell.checks += 1
+        cell.violations.append(Violation(
+            "verifier-crash", f"{type(exc).__name__}: {exc}", benchmark))
+        return cell, {_ranges.SAFE: 0, _ranges.UNSAFE: 0,
+                      _ranges.UNKNOWN: 0}
+    counts = mranges.counts()
+    cell.checks = sum(counts.values())
+    for graph_name, proof in mranges.unsafe_accesses():
+        iv = proof.index_interval
+        span = "?" if iv is None else f"[{iv[0]}, {iv[1]}]"
+        cell.violations.append(Violation(
+            "bounds-unsafe",
+            f"{proof.kind} {proof.array or '<array>'}{span} is out of "
+            f"bounds for length {proof.length} at word "
+            f"{proof.word_index}", graph_name))
+    return cell, counts
+
+
 def run_sweep(benchmarks: Optional[Sequence[str]] = None,
               levels: Sequence[int] = DEFAULT_LEVELS,
               tiers: Sequence[str] = TIERS,
               n_lanes: int = DEFAULT_LANES,
+              ranges: bool = False,
               progress=None) -> SweepReport:
     """Statically verify every (benchmark, level, tier) artifact."""
     from repro.opt.pipeline import OptLevel, optimize_module
@@ -136,6 +173,12 @@ def run_sweep(benchmarks: Optional[Sequence[str]] = None,
                     cell.checks = result.checks
                     cell.violations = result.violations
                 report.cells.append(cell)
+            if ranges:
+                if progress is not None:
+                    progress(spec.name, level, "ranges")
+                cell, counts = _range_cell(spec.name, level, graph_module)
+                report.cells.append(cell)
+                report.ranges[(spec.name, level)] = counts
     return report
 
 
@@ -165,6 +208,16 @@ def render_markdown(report: SweepReport,
             else:
                 row.append(f"FAIL({len(cell.violations)})")
         lines.append("| " + " | ".join(row) + " |")
+    if report.ranges:
+        lines += ["", "## Range analysis", "",
+                  "| benchmark | level | SAFE | UNKNOWN | UNSAFE |",
+                  "|---|---|---|---|---|"]
+        for (benchmark, level), counts in report.ranges.items():
+            unsafe = counts.get("UNSAFE", 0)
+            lines.append(
+                f"| {benchmark} | {level} | {counts.get('SAFE', 0)} | "
+                f"{counts.get('UNKNOWN', 0)} | "
+                + (f"**{unsafe}**" if unsafe else "0") + " |")
     lines.append("")
     total = len(report.cells)
     failed = sum(1 for cell in report.cells if not cell.ok)
@@ -178,6 +231,38 @@ def render_markdown(report: SweepReport,
             lines.append(f"- `{cell.benchmark}` L{cell.level} "
                          f"{cell.tier}: {violation}")
     return "\n".join(lines) + "\n"
+
+
+def report_json(report: SweepReport,
+                lint: Optional[VerifyResult] = None) -> Dict:
+    """Machine-readable form of one sweep (``repro verify --json``)."""
+    doc: Dict = {
+        "ok": report.ok and (lint is None or lint.ok),
+        "checks": report.checks,
+        "cells": [
+            {"benchmark": cell.benchmark, "level": cell.level,
+             "tier": cell.tier, "checks": cell.checks, "ok": cell.ok}
+            for cell in report.cells],
+        "violations": [
+            {"benchmark": cell.benchmark, "level": cell.level,
+             "tier": cell.tier, "invariant": violation.invariant,
+             "graph": violation.graph, "detail": violation.detail}
+            for cell, violation in report.violations],
+    }
+    if report.ranges:
+        doc["ranges"] = [
+            {"benchmark": benchmark, "level": level, **counts}
+            for (benchmark, level), counts in report.ranges.items()]
+    if lint is not None:
+        doc["lint"] = {
+            "ok": lint.ok,
+            "checks": lint.checks,
+            "findings": [
+                {"invariant": violation.invariant,
+                 "graph": violation.graph, "detail": violation.detail}
+                for violation in lint.violations],
+        }
+    return doc
 
 
 # -- cache scanning (repro cache show --verify) ------------------------------------

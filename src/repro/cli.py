@@ -329,8 +329,16 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--lanes", type=int, default=4,
                         help="lane count for the lanes tier (default 4)")
     verify.add_argument("--skip-lint", action="store_true",
-                        help="skip the determinism lint over sim/ and "
-                             "exec/")
+                        help="skip the determinism lint over sim/, exec/, "
+                             "serve/ and analysis/")
+    verify.add_argument("--ranges", action="store_true",
+                        help="run the value-range analysis per benchmark "
+                             "and report SAFE/UNKNOWN/UNSAFE access "
+                             "counts; definite UNSAFE accesses fail the "
+                             "sweep without executing the program")
+    verify.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of the "
+                             "Markdown summary")
     verify.add_argument("--output", default=None,
                         help="file for the Markdown summary "
                              "(default: stdout)")
@@ -752,8 +760,11 @@ def cmd_report(args, out) -> int:
 
 
 def cmd_verify(args, out) -> int:
+    import json as _json
+
     from repro.analysis.lint import lint_determinism
-    from repro.analysis.sweep import TIERS, render_markdown, run_sweep
+    from repro.analysis.sweep import (TIERS, render_markdown, report_json,
+                                      run_sweep)
 
     benchmarks = args.benchmarks.split(",") if args.benchmarks else None
     tiers = tuple(args.tiers.split(",")) if args.tiers else TIERS
@@ -762,20 +773,26 @@ def cmd_verify(args, out) -> int:
             raise ReproError(f"unknown tier {tier!r} (expected one of "
                              f"{', '.join(TIERS)})")
     report = run_sweep(benchmarks=benchmarks, levels=args.levels,
-                       tiers=tiers, n_lanes=args.lanes)
-    text = render_markdown(report, tiers=tiers)
+                       tiers=tiers, n_lanes=args.lanes, ranges=args.ranges)
     failed = not report.ok
+    lint = None
     if not args.skip_lint:
         lint = lint_determinism()
-        if lint.ok:
-            text += (f"\nDeterminism lint: {lint.checks} checks over "
-                     f"sim/ and exec/ — clean.\n")
-        else:
-            failed = True
-            text += (f"\nDeterminism lint: "
-                     f"{len(lint.violations)} finding(s):\n")
-            for violation in lint.violations:
-                text += f"- {violation}\n"
+        failed = failed or not lint.ok
+    if args.json:
+        text = _json.dumps(report_json(report, lint), indent=2,
+                           sort_keys=True) + "\n"
+    else:
+        text = render_markdown(report, tiers=tiers)
+        if lint is not None:
+            if lint.ok:
+                text += (f"\nDeterminism lint: {lint.checks} checks over "
+                         f"sim/, exec/, serve/ and analysis/ — clean.\n")
+            else:
+                text += (f"\nDeterminism lint: "
+                         f"{len(lint.violations)} finding(s):\n")
+                for violation in lint.violations:
+                    text += f"- {violation}\n"
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text)

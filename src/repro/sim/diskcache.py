@@ -104,7 +104,9 @@ DISABLE_VALUE = "none"
 
 #: Bumped whenever the entry payload layout changes; older entries
 #: become plain misses.
-FORMAT_VERSION = 1
+#: v2: codegen/lanes payloads gained the ``"bounds"`` proof-certificate
+#: entry (guard-eliminated loads + premises); v1 entries predate it.
+FORMAT_VERSION = 2
 
 #: Marshalled code objects are interpreter-specific; the tag partitions
 #: entries per CPython version (e.g. ``cpython-311``).
@@ -130,8 +132,9 @@ def _source_token() -> str:
     if _source_token_cache is None:
         h = hashlib.sha256()
         try:
+            from repro.analysis import ranges
             from repro.sim import bytecode, codegen, engine, lanes
-            for mod in (engine, bytecode, codegen, lanes):
+            for mod in (engine, bytecode, codegen, lanes, ranges):
                 with open(mod.__file__, "rb") as fh:
                     h.update(fh.read())
             _source_token_cache = h.hexdigest()[:12]
